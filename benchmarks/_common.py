@@ -1,0 +1,72 @@
+"""Shared machinery for the figure/table benchmarks.
+
+Single-app (service, app) precise/pliant run pairs are cached process-wide
+so Fig. 5, Fig. 7 and Fig. 10 share work within one pytest session.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.apps import ALL_APP_NAMES, make_app
+from repro.cluster import compare_policies, ladder_for
+from repro.core import PliantPolicy, PrecisePolicy
+from repro.core.runtime import ColocationConfig, ColocationResult
+
+SERVICES = ("nginx", "memcached", "mongodb")
+SEED = 2
+
+#: Latency display units per service (value, label).
+SERVICE_UNITS = {
+    "nginx": (1e3, "ms"),
+    "memcached": (1e6, "us"),
+    "mongodb": (1e3, "ms"),
+}
+
+
+def config(**kwargs) -> ColocationConfig:
+    merged = {"seed": SEED}
+    merged.update(kwargs)
+    return ColocationConfig(**merged)
+
+
+@lru_cache(maxsize=256)
+def run_pair(service: str, app: str) -> tuple[ColocationResult, ColocationResult]:
+    """(precise, pliant) results for a single-app colocation at 77.5% load."""
+    results = compare_policies(
+        service,
+        [app],
+        [PrecisePolicy(), PliantPolicy(seed=SEED)],
+        config=config(),
+    )
+    return results["precise"], results["pliant"]
+
+
+@lru_cache(maxsize=1024)
+def run_pliant_mix(service: str, apps: tuple[str, ...]) -> ColocationResult:
+    """Pliant run for a multi-app mix."""
+    from repro.cluster import build_engine
+
+    engine = build_engine(service, list(apps), PliantPolicy(seed=SEED), config=config())
+    return engine.run()
+
+
+def app_overhead(app_name: str) -> float:
+    return make_app(app_name).metadata.dynrio_overhead
+
+
+def ladder(app_name: str):
+    return ladder_for(app_name, seed=0)
+
+
+__all__ = [
+    "ALL_APP_NAMES",
+    "SEED",
+    "SERVICES",
+    "SERVICE_UNITS",
+    "app_overhead",
+    "config",
+    "ladder",
+    "run_pair",
+    "run_pliant_mix",
+]

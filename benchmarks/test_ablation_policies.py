@@ -1,0 +1,92 @@
+"""Ablation: Pliant against its single-lever variants.
+
+Not a paper figure, but the design-choices study DESIGN.md calls out: the
+full runtime (approximation first, cores second) against core-reclamation
+alone, static most-approximate pinning, and the Section 6.5 impact-aware
+arbiter on a 2-app mix.
+"""
+
+from repro.cluster import build_engine
+from repro.core import (
+    CoreReclaimOnlyPolicy,
+    ImpactAwareArbiter,
+    PliantPolicy,
+    StaticMostApproxPolicy,
+)
+from repro.viz import format_table
+
+from benchmarks._common import config
+
+PAIRS = (("memcached", "canneal"), ("nginx", "kmeans"), ("mongodb", "snp"))
+
+
+def _run(service, apps, policy):
+    engine = build_engine(service, list(apps), policy, config=config())
+    return engine.run()
+
+
+def test_ablation_policies(benchmark, capsys):
+    def run_all():
+        out = {}
+        for service, app in PAIRS:
+            out[(service, app)] = {
+                "pliant": _run(service, [app], PliantPolicy(seed=2)),
+                "cores-only": _run(service, [app], CoreReclaimOnlyPolicy()),
+                "static-max": _run(service, [app], StaticMostApproxPolicy()),
+            }
+        out[("nginx", "canneal+bayesian")] = {
+            "round-robin": _run(
+                "nginx", ["canneal", "bayesian"], PliantPolicy(seed=2)
+            ),
+            "impact-aware": _run(
+                "nginx",
+                ["canneal", "bayesian"],
+                PliantPolicy(seed=2, arbiter=ImpactAwareArbiter()),
+            ),
+        }
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print("=== Ablation: policy comparison ===")
+        rows = []
+        for key, by_policy in results.items():
+            service, apps = key
+            for policy_name, result in by_policy.items():
+                finishes = [
+                    a.finish_time for a in result.apps if a.finish_time is not None
+                ]
+                rows.append(
+                    [
+                        f"{service}+{apps}",
+                        policy_name,
+                        round(result.qos_ratio, 2),
+                        "yes" if result.qos_met else "NO",
+                        round(max(finishes), 1) if finishes else "-",
+                        round(max(a.inaccuracy_pct for a in result.apps), 2),
+                        result.max_cores_reclaimed(),
+                    ]
+                )
+        print(
+            format_table(
+                ["scenario", "policy", "p99/QoS", "met", "finish s", "inacc %", "cores"],
+                rows,
+            )
+        )
+
+    for (service, app) in PAIRS:
+        by_policy = results[(service, app)]
+        # Pliant meets QoS everywhere; cores-only must burn more cores (or
+        # fail); static-max sacrifices quality without the cores lever.
+        assert by_policy["pliant"].qos_met
+        if by_policy["cores-only"].qos_met:
+            assert (
+                by_policy["cores-only"].max_cores_reclaimed()
+                >= by_policy["pliant"].max_cores_reclaimed()
+            )
+        assert by_policy["static-max"].max_cores_reclaimed() == 0
+    multi = results[("nginx", "canneal+bayesian")]
+    assert multi["round-robin"].qos_met
+    assert multi["impact-aware"].qos_met

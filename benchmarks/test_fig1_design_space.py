@@ -1,0 +1,93 @@
+"""Fig. 1: approximation design-space exploration.
+
+Odd rows of the paper's figure: per app, the (inaccuracy, execution time)
+scatter of every examined variant, with the pareto-selected set marked.
+Even rows: the tail-latency impact (vs QoS) of colocating each *selected*
+variant — statically pinned — with each of the three services.
+
+The benchmark measures a full single-app design-space exploration (cache
+bypassed) — the cost Section 4.1 says is paid once per application.
+"""
+
+import pytest
+
+from repro.apps import ALL_APP_NAMES, make_app
+from repro.cluster import build_engine
+from repro.core import StaticLevelPolicy
+from repro.exploration import DesignSpaceExplorer
+from repro.viz import format_table
+
+from benchmarks._common import SERVICES, config, ladder
+
+
+def _static_ratio(service: str, app: str, level: int) -> float:
+    engine = build_engine(
+        service,
+        [app],
+        StaticLevelPolicy({app: level}),
+        config=config(),
+    )
+    return engine.run().qos_ratio
+
+
+def test_fig1_design_space(benchmark, capsys):
+    # Benchmark: one cold exploration of a mid-sized app.
+    def explore_once():
+        app = make_app("kmeans")
+        return DesignSpaceExplorer(app, seed=0).explore(force=True)
+
+    benchmark.pedantic(explore_once, rounds=1, iterations=1)
+
+    scatter_rows = []
+    impact_rows = []
+    selected_counts = {}
+    for name in ALL_APP_NAMES:
+        app = make_app(name)
+        result = DesignSpaceExplorer(app, seed=0).explore()
+        selected_counts[name] = len(result.selected)
+        scatter_rows.append(
+            [
+                name,
+                len(result.all_variants),
+                len(result.selected),
+                " ".join(
+                    f"({v.inaccuracy_pct:.1f}%,{v.time_factor:.2f}x)"
+                    for v in result.selected
+                ),
+            ]
+        )
+        lad = result.ladder
+        for level in range(lad.max_level + 1):
+            ratios = [
+                _static_ratio(service, name, level) for service in SERVICES
+            ]
+            tag = "precise" if level == 0 else f"v{level}"
+            impact_rows.append(
+                [name, tag, lad.variant(level).inaccuracy_pct]
+                + [round(r, 2) for r in ratios]
+            )
+
+    with capsys.disabled():
+        print()
+        print("=== Fig. 1 (odd rows): variants near the pareto frontier ===")
+        print(
+            format_table(
+                ["app", "examined", "selected", "selected (inaccuracy, time)"],
+                scatter_rows,
+            )
+        )
+        print()
+        print("=== Fig. 1 (even rows): tail latency vs QoS per pinned variant ===")
+        print(
+            format_table(
+                ["app", "variant", "inacc %", "nginx", "memcached", "mongodb"],
+                impact_rows,
+            )
+        )
+
+    # Shape assertions: every app offers 1-8 selected variants; precise
+    # execution violates QoS for every service; the most approximate
+    # variant never does worse than precise on MongoDB (the amenable one).
+    assert all(1 <= count <= 8 for count in selected_counts.values())
+    precise_rows = [r for r in impact_rows if r[1] == "precise"]
+    assert all(row[3] > 1.0 and row[4] > 1.0 and row[5] > 1.0 for row in precise_rows)

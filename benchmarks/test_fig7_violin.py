@@ -1,0 +1,111 @@
+"""Fig. 7: distributions across 1-, 2- and 3-way colocations.
+
+For each service and each colocation arity, prints the violin statistics
+(min / p25 / median / p75 / max / mean) of: interactive tail latency
+normalized to QoS, approximate-app execution time normalized to its
+single-app precise baseline, and output inaccuracy.
+
+The paper runs every 2-/3-way combination of the 24 apps; this bench
+samples combinations deterministically (REPRO_FULL_MIXES=1 runs them all).
+"""
+
+import os
+
+from repro.cluster import ViolinStats, combination_mixes
+from repro.viz import format_table
+
+from benchmarks._common import (
+    ALL_APP_NAMES,
+    SERVICES,
+    run_pair,
+    run_pliant_mix,
+)
+
+_FULL = os.environ.get("REPRO_FULL_MIXES") == "1"
+_SAMPLES = {2: None if _FULL else 18, 3: None if _FULL else 14}
+
+
+def _collect(service):
+    """metric lists per arity: (latency ratios, rel exec times, inaccs)."""
+    data = {}
+    # 1-way: all 24 single-app colocations.
+    ratios, rels, inaccs = [], [], []
+    baselines = {}
+    for app in ALL_APP_NAMES:
+        precise, pliant = run_pair(service, app)
+        baselines[app] = precise.app_outcome(app).finish_time
+        outcome = pliant.app_outcome(app)
+        ratios.append(pliant.qos_ratio)
+        if outcome.finish_time and baselines[app]:
+            rels.append(outcome.finish_time / baselines[app])
+        inaccs.append(outcome.inaccuracy_pct)
+    data[1] = (ratios, rels, inaccs)
+
+    for arity in (2, 3):
+        mixes = combination_mixes(
+            ALL_APP_NAMES, arity, sample=_SAMPLES[arity], seed=13
+        )
+        ratios, rels, inaccs = [], [], []
+        for mix in mixes:
+            result = run_pliant_mix(service, mix)
+            ratios.append(result.qos_ratio)
+            for app in mix:
+                outcome = result.app_outcome(app)
+                if outcome.finish_time and baselines[app]:
+                    rels.append(outcome.finish_time / baselines[app])
+                inaccs.append(outcome.inaccuracy_pct)
+        data[arity] = (ratios, rels, inaccs)
+    return data
+
+
+def test_fig7_violin(benchmark, capsys):
+    collected = benchmark.pedantic(
+        lambda: {s: _collect(s) for s in SERVICES}, rounds=1, iterations=1
+    )
+
+    with capsys.disabled():
+        print()
+        scope = "all combinations" if _FULL else "sampled combinations"
+        print(f"=== Fig. 7: violin statistics ({scope}) ===")
+        for service, data in collected.items():
+            rows = []
+            for arity, (ratios, rels, inaccs) in data.items():
+                for label, values in (
+                    ("p99/QoS", ratios),
+                    ("rel exec", rels),
+                    ("inacc %", inaccs),
+                ):
+                    stats = ViolinStats.from_values(values)
+                    rows.append(
+                        [
+                            f"{arity} app{'s' if arity > 1 else ''}",
+                            label,
+                            round(stats.minimum, 2),
+                            round(stats.p25, 2),
+                            round(stats.median, 2),
+                            round(stats.p75, 2),
+                            round(stats.maximum, 2),
+                            round(stats.mean, 2),
+                            stats.count,
+                        ]
+                    )
+            print(f"\n--- {service} ---")
+            print(
+                format_table(
+                    ["mix", "metric", "min", "p25", "med", "p75", "max", "mean", "n"],
+                    rows,
+                )
+            )
+
+    # Shape assertions: inaccuracy distributions tighten as consolidation
+    # grows (the paper's "violins become more centralized"), and QoS holds.
+    for service, data in collected.items():
+        spread_1 = ViolinStats.from_values(data[1][2]).spread()
+        spread_3 = ViolinStats.from_values(data[3][2]).spread()
+        assert spread_3 <= spread_1 + 1.0, service
+        for arity in (1, 2, 3):
+            stats = ViolinStats.from_values(data[arity][0])
+            assert stats.median <= 1.1, (service, arity)
+        # Inaccuracy never exceeds the threshold by more than elision noise.
+        for arity in (1, 2, 3):
+            assert max(data[arity][2]) < 6.5

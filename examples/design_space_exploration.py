@@ -1,0 +1,66 @@
+"""Design-space exploration walkthrough (paper Section 3).
+
+Explores one application's approximation space in full: enumerates the knob
+grid, measures every variant on the real kernel, prints the scatter, the
+pareto selection, and the gprof-style profiler's view of where the work
+lives.
+
+Usage:  python examples/design_space_exploration.py [app_name]
+"""
+
+import sys
+
+from repro.apps import make_app
+from repro.exploration import DesignSpaceExplorer, WorkProfiler
+from repro.viz import format_table
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "bayesian"
+    app = make_app(app_name)
+
+    print(f"== {app_name} ({app.metadata.suite}) ==")
+    print(f"approximable sites (ACCEPT-style hints):")
+    for name, knob in app.knobs().items():
+        print(f"  {name}: precise={knob.precise_value!r} candidates={knob.candidates!r}")
+
+    print("\n== gprof-style work attribution ==")
+    for site in WorkProfiler(app).profile():
+        bar = "#" * int(40 * site.work_share)
+        print(f"  {site.knob_name:22s} {100 * site.work_share:5.1f}% |{bar}")
+
+    print("\n== measuring every variant (this runs the real kernel) ==")
+    result = DesignSpaceExplorer(app, seed=0).explore()
+    rows = [
+        [
+            "*" if variant in result.selected else "",
+            f"{variant.inaccuracy_pct:.2f}",
+            f"{variant.time_factor:.2f}",
+            f"{variant.traffic_rate_factor:.2f}",
+            f"{variant.footprint_factor:.2f}",
+            ", ".join(f"{k}={v}" for k, v in variant.spec.items()),
+        ]
+        for variant in sorted(result.all_variants, key=lambda v: v.inaccuracy_pct)
+    ]
+    print(
+        format_table(
+            ["sel", "inacc %", "time x", "contention x", "footprint x", "knobs"],
+            rows,
+        )
+    )
+    print(
+        f"\n{len(result.all_variants)} variants examined, "
+        f"{len(result.selected)} selected near the pareto frontier "
+        f"(<= 5% inaccuracy)."
+    )
+    print("\n== the runtime ladder ==")
+    for level in range(result.ladder.max_level + 1):
+        v = result.ladder.variant(level)
+        print(
+            f"  level {level}: inaccuracy {v.inaccuracy_pct:4.1f}%  "
+            f"time {v.time_factor:.2f}x  contention {v.traffic_rate_factor:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Load-sensitivity study (paper Fig. 8, single pair).
+
+Sweeps the offered load of an interactive service from 40% to 100% of
+saturation while colocated with one approximate app under Pliant, and
+prints how tail latency, approximation degree, core reclamation and app
+quality respond.
+
+Usage:  python examples/load_sensitivity.py [service] [app]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.cluster import build_engine
+from repro.core import PliantPolicy
+from repro.core.runtime import ColocationConfig
+from repro.services import make_service
+from repro.viz import format_table
+
+
+def main() -> None:
+    service = sys.argv[1] if len(sys.argv) > 1 else "memcached"
+    app = sys.argv[2] if len(sys.argv) > 2 else "kmeans"
+    saturation = make_service(service).saturation_qps(8)
+
+    rows = []
+    for load in (0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0):
+        config = ColocationConfig(seed=5, load_fraction=load)
+        engine = build_engine(service, [app], PliantPolicy(seed=5), config=config)
+        result = engine.run()
+        outcome = result.app_outcome(app)
+        mean_level = float(np.mean(result.epoch_app_levels[app]))
+        rows.append(
+            [
+                f"{int(100 * load)}%",
+                f"{load * saturation:,.0f}",
+                f"{result.qos_ratio:.2f}",
+                "yes" if result.qos_met else "NO",
+                f"{mean_level:.1f}",
+                result.max_cores_reclaimed(),
+                f"{outcome.inaccuracy_pct:.2f}%",
+                f"{outcome.finish_time:.1f}s" if outcome.finish_time else "-",
+            ]
+        )
+
+    print(f"== {service} + {app}: load sweep under Pliant ==")
+    print(
+        format_table(
+            [
+                "load",
+                "QPS",
+                "p99/QoS",
+                "met",
+                "mean approx level",
+                "cores taken",
+                "inaccuracy",
+                "finish",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading: below ~60% load the app runs (nearly) precise; "
+        "approximation ramps through the mid-range; near saturation "
+        "cores move too, and beyond it no lever suffices."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro: a reproduction of Pliant (HPCA 2019).
+
+Pliant is an online cloud runtime that co-locates latency-critical
+interactive services with approximate-computing applications, dialing
+approximation up (and reclaiming cores when needed) to keep the interactive
+service inside its tail-latency QoS while sacrificing the minimum output
+quality.
+
+Public API tour
+---------------
+``repro.apps``         -- 24 approximable application kernels
+``repro.services``     -- NGINX / memcached / MongoDB models
+``repro.server``       -- shared-server platform + interference model
+``repro.exploration``  -- design-space exploration (paper Section 3)
+``repro.core``         -- the Pliant runtime (monitor, actuator, controller)
+``repro.cluster``      -- colocation experiment harness and sweeps
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import DEFAULT_CONFIG, PlatformSpec, QosTargets, ReproConfig
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "PlatformSpec",
+    "QosTargets",
+    "ReproConfig",
+    "__version__",
+]

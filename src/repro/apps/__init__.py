@@ -1,0 +1,48 @@
+"""Approximate-computing applications.
+
+Twenty-four kernels mirroring the paper's benchmark selection (PARSEC,
+SPLASH-2, MineBench, BioPerf), each a *real* small-scale implementation of
+the algorithm the benchmark is named for, with
+
+* genuine output-quality metrics measured against precise execution,
+* approximation knobs (loop perforation, synchronization elision, reduced
+  precision) wired into the algorithm itself, and
+* instrumentation counters from which the execution-time and contention
+  factors used by the colocation simulator are *measured*, not assumed.
+"""
+
+from repro.apps.base import (
+    AppMetadata,
+    ApproximableApp,
+    KernelCounters,
+    KernelRun,
+    MeasuredVariant,
+    VariantSpec,
+)
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    PrecisionReduction,
+    SyncElision,
+    perforated_count,
+    perforated_indices,
+)
+from repro.apps.registry import ALL_APP_NAMES, SUITES, make_app
+
+__all__ = [
+    "ALL_APP_NAMES",
+    "AppMetadata",
+    "ApproximableApp",
+    "KernelCounters",
+    "KernelRun",
+    "Knob",
+    "LoopPerforation",
+    "MeasuredVariant",
+    "PrecisionReduction",
+    "SUITES",
+    "SyncElision",
+    "VariantSpec",
+    "make_app",
+    "perforated_count",
+    "perforated_indices",
+]

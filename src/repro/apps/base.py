@@ -1,0 +1,297 @@
+"""Approximable-application framework.
+
+An :class:`ApproximableApp` is a real algorithm implementation with
+approximation knobs.  Running it under a :class:`VariantSpec` produces a
+:class:`KernelRun` — the algorithm's output plus :class:`KernelCounters`
+(work units, memory traffic, peak footprint) incremented by the kernel
+itself.  :meth:`ApproximableApp.measure` compares a variant run against the
+cached precise run for the same seed and distills the numbers the rest of
+the system consumes:
+
+``time_factor``
+    execution time relative to precise = measured work ratio.
+``traffic_rate_factor``
+    *instantaneous* memory-traffic rate relative to precise =
+    (traffic ratio) / (work ratio), clamped.  This is what scales the app's
+    contention while it runs: a variant that cuts traffic as fast as it cuts
+    time leaves the contention rate unchanged (canneal), while one that cuts
+    traffic without much speedup (sync elision in SNP) is a strong
+    decontention knob — exactly the distinction Section 6.1 draws.
+``footprint_factor``
+    peak-working-set scale (reduced by precision knobs).
+``inaccuracy_pct``
+    the app's own quality metric against precise output.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.apps.knobs import Knob
+from repro.rng import child_generator
+from repro.server.resources import ResourceProfile
+
+#: Instantaneous contention may rise slightly when execution speeds up more
+#: than traffic shrinks (same accesses squeezed into less time), but we cap
+#: the effect: the memory system bounds how much a fixed core count can ask.
+_TRAFFIC_RATE_CLAMP = (0.15, 1.05)
+_FOOTPRINT_CLAMP = (0.10, 1.10)
+
+#: Share of execution the counters do not see: startup, I/O, serial
+#: sections, coordination.  Keeps measured time factors off unrealistic
+#: floors (perforating 90 % of a loop does not make a real program 10x
+#: faster).
+_FIXED_WORK_SHARE = 0.18
+
+#: Memory-traffic intensity of that fixed share relative to the tracked
+#: kernel (setup and coordination are far less bandwidth-hungry).
+_FIXED_TRAFFIC_INTENSITY = 0.4
+
+
+class KernelCounters:
+    """Instrumentation counters incremented by a kernel as it runs."""
+
+    def __init__(self) -> None:
+        self.work = 0.0
+        self.mem_traffic = 0.0
+        self._footprint = 0.0
+
+    def add(self, work: float = 0.0, traffic: float = 0.0) -> None:
+        if work < 0 or traffic < 0:
+            raise ValueError("counters only increase")
+        self.work += work
+        self.mem_traffic += traffic
+
+    def note_footprint(self, bytes_held: float) -> None:
+        """Record a working-set high-water mark."""
+        self._footprint = max(self._footprint, bytes_held)
+
+    @property
+    def footprint(self) -> float:
+        return self._footprint
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Output + counters of one kernel execution."""
+
+    output: Any
+    counters: KernelCounters
+
+
+class VariantSpec(Mapping[str, Any]):
+    """An immutable, hashable point in an app's approximation space.
+
+    Maps knob name -> value.  Knobs left unset take their precise value when
+    the kernel runs, so the empty spec is precise execution.
+    """
+
+    def __init__(self, settings: Mapping[str, Any] | None = None) -> None:
+        items = tuple(sorted((settings or {}).items()))
+        self._items = items
+        self._dict = dict(items)
+
+    def __getitem__(self, key: str) -> Any:
+        return self._dict[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._dict)
+
+    def __len__(self) -> int:
+        return len(self._dict)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VariantSpec):
+            return NotImplemented
+        return self._items == other._items
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return f"VariantSpec({inner})"
+
+    def is_precise_for(self, knobs: Mapping[str, Knob]) -> bool:
+        """True if every set knob equals its precise value."""
+        return all(
+            value == knobs[name].precise_value
+            for name, value in self._items
+            if name in knobs
+        ) and all(name in knobs for name, _ in self._items)
+
+
+PRECISE_SPEC = VariantSpec()
+
+
+@dataclass(frozen=True)
+class AppMetadata:
+    """Simulation-level metadata of an app.
+
+    ``nominal_exec_time`` is the precise-mode wall time on the fair-share
+    core allocation with no interference (seconds); ``parallel_fraction`` the
+    Amdahl fraction that scales with cores; ``dynrio_overhead`` the
+    fractional slowdown of running under the instrumentation tool;
+    ``profile`` the per-core shared-resource demands in precise mode.
+    """
+
+    name: str
+    suite: str
+    nominal_exec_time: float
+    parallel_fraction: float
+    dynrio_overhead: float
+    profile: ResourceProfile
+
+    def __post_init__(self) -> None:
+        if self.nominal_exec_time <= 0:
+            raise ValueError("nominal_exec_time must be positive")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError("parallel_fraction must lie in [0, 1]")
+        if self.dynrio_overhead < 0:
+            raise ValueError("dynrio_overhead must be non-negative")
+
+
+@dataclass(frozen=True)
+class MeasuredVariant:
+    """A variant with measured quality/performance/contention factors."""
+
+    app_name: str
+    spec: VariantSpec
+    inaccuracy_pct: float
+    time_factor: float
+    traffic_rate_factor: float
+    footprint_factor: float
+
+    @property
+    def is_precise(self) -> bool:
+        return len(self.spec) == 0 or (
+            self.inaccuracy_pct == 0.0 and self.time_factor == 1.0
+        )
+
+    def scaled_profile(self, base: ResourceProfile) -> ResourceProfile:
+        """Apply this variant's contention scaling to a precise profile."""
+        return base.scaled(
+            traffic_factor=self.traffic_rate_factor,
+            footprint_factor=self.footprint_factor,
+        )
+
+
+@dataclass
+class _PreciseCache:
+    runs: dict[int, KernelRun] = field(default_factory=dict)
+
+
+class ApproximableApp(ABC):
+    """A real algorithm with approximation knobs.
+
+    Subclasses provide :attr:`metadata`, :meth:`knobs`, :meth:`run_kernel`
+    and :meth:`quality_loss`; the base class handles variant materialization,
+    precise-run caching and factor measurement.
+    """
+
+    metadata: AppMetadata
+
+    def __init__(self) -> None:
+        self._precise = _PreciseCache()
+
+    @property
+    def name(self) -> str:
+        return self.metadata.name
+
+    @abstractmethod
+    def knobs(self) -> dict[str, Knob]:
+        """The app's approximable sites (ACCEPT-style hints, Section 3)."""
+
+    @abstractmethod
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> Any:
+        """Execute the algorithm under fully materialized knob ``settings``."""
+
+    @abstractmethod
+    def quality_loss(self, precise_output: Any, approx_output: Any) -> float:
+        """Inaccuracy (percent) of ``approx_output`` vs ``precise_output``."""
+
+    # -- concrete machinery ---------------------------------------------------
+
+    def materialize(self, spec: VariantSpec) -> dict[str, Any]:
+        """Fill unset knobs with precise values; reject unknown knobs."""
+        knobs = self.knobs()
+        unknown = set(spec) - set(knobs)
+        if unknown:
+            raise KeyError(f"{self.name}: unknown knobs {sorted(unknown)}")
+        settings = {name: knob.precise_value for name, knob in knobs.items()}
+        settings.update(spec)
+        return settings
+
+    def run(self, spec: VariantSpec = PRECISE_SPEC, seed: int = 0) -> KernelRun:
+        """Execute one variant; deterministic for a given (spec, seed)."""
+        settings = self.materialize(spec)
+        counters = KernelCounters()
+        rng = child_generator(seed, f"app/{self.name}")
+        output = self.run_kernel(settings, counters, rng)
+        if counters.work <= 0:
+            raise RuntimeError(f"{self.name}: kernel recorded no work")
+        return KernelRun(output=output, counters=counters)
+
+    def precise_run(self, seed: int = 0) -> KernelRun:
+        """Cached precise execution for ``seed``."""
+        if seed not in self._precise.runs:
+            self._precise.runs[seed] = self.run(PRECISE_SPEC, seed=seed)
+        return self._precise.runs[seed]
+
+    def measure(self, spec: VariantSpec, seed: int = 0) -> MeasuredVariant:
+        """Run ``spec`` and compare against the precise run for ``seed``."""
+        precise = self.precise_run(seed)
+        if spec.is_precise_for(self.knobs()):
+            return MeasuredVariant(
+                app_name=self.name,
+                spec=VariantSpec(),
+                inaccuracy_pct=0.0,
+                time_factor=1.0,
+                traffic_rate_factor=1.0,
+                footprint_factor=1.0,
+            )
+        variant = self.run(spec, seed=seed)
+        work_ratio = variant.counters.work / precise.counters.work
+        if precise.counters.mem_traffic > 0:
+            traffic_ratio = variant.counters.mem_traffic / precise.counters.mem_traffic
+        else:
+            traffic_ratio = work_ratio
+        # Blend in the untracked fixed share of execution (see constants).
+        fixed = _FIXED_WORK_SHARE
+        work_ratio = fixed + (1.0 - fixed) * work_ratio
+        traffic_ratio = (
+            fixed * _FIXED_TRAFFIC_INTENSITY + (1.0 - fixed) * traffic_ratio
+        )
+        rate = traffic_ratio / max(work_ratio, 1e-9)
+        if precise.counters.footprint > 0:
+            footprint_ratio = variant.counters.footprint / precise.counters.footprint
+        else:
+            footprint_ratio = 1.0
+        return MeasuredVariant(
+            app_name=self.name,
+            spec=spec,
+            inaccuracy_pct=float(self.quality_loss(precise.output, variant.output)),
+            time_factor=float(work_ratio),
+            traffic_rate_factor=float(np.clip(rate, *_TRAFFIC_RATE_CLAMP)),
+            footprint_factor=float(np.clip(footprint_ratio, *_FOOTPRINT_CLAMP)),
+        )
+
+    def precise_variant(self) -> MeasuredVariant:
+        """The precise point (inaccuracy 0, all factors 1)."""
+        return MeasuredVariant(
+            app_name=self.name,
+            spec=VariantSpec(),
+            inaccuracy_pct=0.0,
+            time_factor=1.0,
+            traffic_rate_factor=1.0,
+            footprint_factor=1.0,
+        )

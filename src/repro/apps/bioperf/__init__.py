@@ -1,0 +1,21 @@
+"""BioPerf-derived approximate kernels (bioinformatics)."""
+
+from repro.apps.bioperf.blast import Blast
+from repro.apps.bioperf.ce import CombinatorialExtension
+from repro.apps.bioperf.clustalw import ClustalW
+from repro.apps.bioperf.fasta import Fasta
+from repro.apps.bioperf.glimmer import Glimmer
+from repro.apps.bioperf.grappa import Grappa
+from repro.apps.bioperf.hmmer import Hmmer
+from repro.apps.bioperf.tcoffee import TCoffee
+
+__all__ = [
+    "Blast",
+    "ClustalW",
+    "CombinatorialExtension",
+    "Fasta",
+    "Glimmer",
+    "Grappa",
+    "Hmmer",
+    "TCoffee",
+]

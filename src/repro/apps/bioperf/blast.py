@@ -1,0 +1,131 @@
+"""blast: seed-and-extend local sequence search (BioPerf).
+
+For each query, find exact k-mer seed matches against the database, then
+extend the best seeds with a local (Smith-Waterman) rescoring of a window
+around each seed.  Output is the best alignment score per query.
+
+Approximation knobs
+-------------------
+``perforate_extensions`` — extend only the top fraction of seed hits per
+    query (ranked by seed count), approximating the rest with their seed
+    scores.
+``perforate_database``   — scan a sampled fraction of the database.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import Knob, LoopPerforation, perforated_count, perforated_indices
+from repro.apps.quality import relative_error_pct
+from repro.server.resources import ResourceProfile
+from repro.apps.bioperf._seqlib import (
+    encode_kmers,
+    mutate_sequence,
+    random_sequence,
+    smith_waterman_score,
+)
+
+_N_DATABASE = 160
+_DB_LEN = 160
+_N_QUERIES = 10
+_QUERY_LEN = 48
+_KMER = 5
+_EXTEND_WINDOW = 56
+_SEED_WORK = 0.05
+_SEED_TRAFFIC = 4.0
+_EXTEND_WORK = 1.0
+_EXTEND_TRAFFIC = 8.0
+
+
+class Blast(ApproximableApp):
+    """Seed-and-extend local alignment search (BioPerf)."""
+
+    metadata = AppMetadata(
+        name="blast",
+        suite="bioperf",
+        nominal_exec_time=30.0,
+        parallel_fraction=0.88,
+        dynrio_overhead=0.031,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(34),
+            llc_intensity=0.68,
+            membw_per_core=units.gbytes_per_sec(5.6),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_extensions": LoopPerforation(
+                "perforate_extensions", (0.70, 0.45, 0.25)
+            ),
+            "perforate_database": LoopPerforation("perforate_database", (0.70, 0.50)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        keep_extensions = settings["perforate_extensions"]
+        keep_database = settings["perforate_database"]
+
+        database = [random_sequence(rng, _DB_LEN) for _ in range(_N_DATABASE)]
+        queries = []
+        for _ in range(_N_QUERIES):
+            # Each query is a mutated excerpt of some database sequence, so
+            # a strong true alignment exists.
+            source = database[rng.integers(0, _N_DATABASE)]
+            start = rng.integers(0, _DB_LEN - _QUERY_LEN)
+            queries.append(
+                mutate_sequence(rng, source[start : start + _QUERY_LEN], 0.12, 0.02)
+            )
+        counters.note_footprint(_N_DATABASE * _DB_LEN * 8.0 + units.mb(0.5))
+
+        db_subset = perforated_indices(_N_DATABASE, keep_database)
+        db_kmers = [encode_kmers(seq, _KMER) for seq in database]
+        best_scores = np.zeros(_N_QUERIES)
+        for q_index, query in enumerate(queries):
+            query_kmers = np.unique(encode_kmers(query, _KMER))
+            # Seed pass: count k-mer hits per database sequence.
+            seed_counts = np.zeros(_N_DATABASE)
+            for db_pos in db_subset:
+                kmers = db_kmers[db_pos]
+                seed_counts[db_pos] = int(np.isin(kmers, query_kmers).sum())
+                counters.add(
+                    work=_SEED_WORK * len(kmers),
+                    traffic=_SEED_TRAFFIC * len(kmers),
+                )
+            # Extension pass: local rescoring of the top candidates only.
+            candidates = np.argsort(seed_counts)[::-1]
+            candidates = candidates[seed_counts[candidates] > 0]
+            extended = candidates[
+                : perforated_count(max(len(candidates), 1), keep_extensions)
+            ]
+            best = 0.0
+            for db_pos in extended:
+                seq = database[db_pos]
+                window = seq[:_EXTEND_WINDOW]
+                score = smith_waterman_score(query, window)
+                counters.add(
+                    work=_EXTEND_WORK * len(query) * len(window),
+                    traffic=_EXTEND_TRAFFIC * len(window),
+                )
+                best = max(best, score)
+            skipped = candidates[len(extended):]
+            if len(skipped):
+                # Skipped candidates contribute their (conservative) seed
+                # score — always a lower bound on the extended score.
+                best = max(best, float(seed_counts[skipped].max()) * 1.0)
+            best_scores[q_index] = best
+        return best_scores
+
+    def quality_loss(
+        self, precise_output: np.ndarray, approx_output: np.ndarray
+    ) -> float:
+        return relative_error_pct(approx_output, precise_output)

@@ -1,0 +1,159 @@
+"""CE: combinatorial-extension protein structure alignment (BioPerf).
+
+CE aligns two 3D backbone chains by finding aligned fragment pairs (AFPs)
+whose internal distance matrices agree, chaining compatible AFPs into a
+path, and superposing the aligned residues (Kabsch).  Output is the RMSD of
+the final superposition — lower is better.
+
+Approximation knobs
+-------------------
+``perforate_afps``   — evaluate only a fraction of candidate fragment pairs.
+``perforate_extend`` — fewer path-extension rounds.
+``precision``        — distance matrices at reduced precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    PrecisionReduction,
+    perforated_count,
+    perforated_indices,
+)
+from repro.apps.quality import cost_increase_pct
+from repro.server.resources import ResourceProfile
+
+_CHAIN_LEN = 80
+_FRAGMENT = 8
+_EXTEND_ROUNDS = 10
+_AFP_WORK = 1.0
+_AFP_TRAFFIC = 16.0
+
+
+def _kabsch_rmsd(a: np.ndarray, b: np.ndarray) -> float:
+    """RMSD after optimal superposition of paired coordinates."""
+    a_centered = a - a.mean(axis=0)
+    b_centered = b - b.mean(axis=0)
+    h = a_centered.T @ b_centered
+    u, _, vt = np.linalg.svd(h)
+    d = np.sign(np.linalg.det(vt.T @ u.T))
+    rotation = vt.T @ np.diag([1.0, 1.0, d]) @ u.T
+    rotated = a_centered @ rotation.T
+    return float(np.sqrt(np.mean((rotated - b_centered) ** 2)))
+
+
+class CombinatorialExtension(ApproximableApp):
+    """CE structural alignment (BioPerf)."""
+
+    metadata = AppMetadata(
+        name="ce",
+        suite="bioperf",
+        nominal_exec_time=35.0,
+        parallel_fraction=0.90,
+        dynrio_overhead=0.034,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(30),
+            llc_intensity=0.62,
+            membw_per_core=units.gbytes_per_sec(5.2),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_afps": LoopPerforation(
+                "perforate_afps", (0.65, 0.45, 0.28)
+            ),
+            "perforate_extend": LoopPerforation("perforate_extend", (0.60,)),
+            "precision": PrecisionReduction("precision", ("float32",)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_afps = settings["perforate_afps"]
+        keep_extend = settings["perforate_extend"]
+        dtype = PrecisionReduction.dtype(settings["precision"])
+        bytes_per_elem = PrecisionReduction.bytes_per_element(settings["precision"])
+
+        # Chain A: a self-avoiding random walk; chain B: A rotated, jittered
+        # and locally perturbed, so a good structural alignment exists.
+        steps = rng.normal(0.0, 1.0, size=(_CHAIN_LEN, 3))
+        steps /= np.linalg.norm(steps, axis=1, keepdims=True)
+        chain_a = np.cumsum(steps * 3.8, axis=0)
+        theta = rng.uniform(0, 2 * np.pi)
+        rotation = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0.0],
+                [np.sin(theta), np.cos(theta), 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        chain_b = chain_a @ rotation.T + rng.normal(0.0, 0.6, size=chain_a.shape)
+        chain_a = chain_a.astype(dtype).astype(np.float64)
+        chain_b = chain_b.astype(dtype).astype(np.float64)
+        counters.note_footprint(
+            2.0 * _CHAIN_LEN * 3 * bytes_per_elem
+            + _CHAIN_LEN * _CHAIN_LEN * bytes_per_elem
+        )
+
+        def fragment_distance_signature(chain: np.ndarray, start: int) -> np.ndarray:
+            frag = chain[start : start + _FRAGMENT]
+            diff = frag[:, None, :] - frag[None, :, :]
+            return np.sqrt((diff**2).sum(axis=2))
+
+        n_frags = _CHAIN_LEN - _FRAGMENT + 1
+        pairs = [(i, j) for i in range(n_frags) for j in range(n_frags)]
+        scanned = perforated_indices(len(pairs), keep_afps)
+        afp_scores: list[tuple[float, int, int]] = []
+        for pos in scanned:
+            i, j = pairs[pos]
+            sig_a = fragment_distance_signature(chain_a, i)
+            sig_b = fragment_distance_signature(chain_b, j)
+            distance = float(np.abs(sig_a - sig_b).mean())
+            counters.add(
+                work=_AFP_WORK,
+                traffic=_AFP_TRAFFIC * _FRAGMENT * (bytes_per_elem / 8.0),
+            )
+            afp_scores.append((distance, i, j))
+        afp_scores.sort()
+
+        # Path assembly: greedily chain compatible AFPs (monotone in both
+        # chains), refined over perforated extension rounds.
+        rounds = perforated_count(_EXTEND_ROUNDS, keep_extend)
+        best_path: list[tuple[int, int]] = []
+        for round_index in range(rounds):
+            seed_pos = round_index
+            if seed_pos >= len(afp_scores):
+                break
+            _, i0, j0 = afp_scores[seed_pos]
+            path = [(i0, j0)]
+            for distance, i, j in afp_scores:
+                last_i, last_j = path[-1]
+                if i >= last_i + _FRAGMENT and j >= last_j + _FRAGMENT:
+                    path.append((i, j))
+            counters.add(work=0.2 * len(afp_scores))
+            if len(path) > len(best_path):
+                best_path = path
+        if not best_path:
+            best_path = [(0, 0)]
+
+        a_indices = np.concatenate(
+            [np.arange(i, i + _FRAGMENT) for i, _ in best_path]
+        )
+        b_indices = np.concatenate(
+            [np.arange(j, j + _FRAGMENT) for _, j in best_path]
+        )
+        return _kabsch_rmsd(chain_a[a_indices], chain_b[b_indices])
+
+    def quality_loss(self, precise_output: float, approx_output: float) -> float:
+        return cost_increase_pct(approx_output, precise_output)

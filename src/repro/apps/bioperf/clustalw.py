@@ -1,0 +1,172 @@
+"""ClustalW: progressive multiple sequence alignment (BioPerf).
+
+The classic three stages: (1) all-pairs distance matrix from pairwise
+alignments, (2) UPGMA guide tree, (3) progressive alignment following the
+tree (here: aligning each sequence into the growing profile in guide
+order).  Output is the sum-of-pairs score of the final alignment.
+
+Approximation knobs
+-------------------
+``perforate_pairs`` — compute only a fraction of the pairwise distance
+    matrix; missing entries fall back to the mean distance.
+``band``            — banded pairwise alignments (kept fraction of the full
+    band width).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import Knob, LoopPerforation, perforated_indices
+from repro.apps.quality import score_drop_pct
+from repro.server.resources import ResourceProfile
+from repro.apps.bioperf._seqlib import (
+    GAP_SYMBOL,
+    needleman_wunsch,
+    pad_alignment,
+    sequence_family,
+    sum_of_pairs_score,
+)
+
+_N_SEQUENCES = 10
+_SEQ_LEN = 70
+_CELL_WORK = 1.0
+_CELL_TRAFFIC = 10.0
+
+
+class ClustalW(ApproximableApp):
+    """Progressive multiple sequence alignment (BioPerf)."""
+
+    metadata = AppMetadata(
+        name="clustalw",
+        suite="bioperf",
+        nominal_exec_time=40.0,
+        parallel_fraction=0.88,
+        dynrio_overhead=0.021,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(40),
+            llc_intensity=0.70,
+            membw_per_core=units.gbytes_per_sec(6.0),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_pairs": LoopPerforation(
+                "perforate_pairs", (0.70, 0.50, 0.30)
+            ),
+            "band": LoopPerforation("band", (0.50, 0.30)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_pairs = settings["perforate_pairs"]
+        band_fraction = settings["band"]
+
+        sequences = sequence_family(rng, _N_SEQUENCES, _SEQ_LEN)
+        counters.note_footprint(
+            sum(s.nbytes for s in sequences) + _SEQ_LEN * _SEQ_LEN * 8.0
+        )
+        band = max(6, int(round(_SEQ_LEN * band_fraction)))
+        if band_fraction == 1.0:
+            band = None
+
+        # Stage 1: pairwise distance matrix (perforated).  Pairs skipped by
+        # perforation fall back to the cheap k-tuple composition distance —
+        # exactly ClustalW's own "quick" pairwise mode.
+        pairs = [
+            (i, j)
+            for i in range(_N_SEQUENCES)
+            for j in range(i + 1, _N_SEQUENCES)
+        ]
+        computed = set(perforated_indices(len(pairs), keep_pairs).tolist())
+        kmer_profiles = []
+        for seq in sequences:
+            profile = np.bincount(
+                seq[:-1] * 4 + seq[1:], minlength=16
+            ).astype(np.float64)
+            kmer_profiles.append(profile / profile.sum())
+        distances = np.zeros((_N_SEQUENCES, _N_SEQUENCES))
+        for pos, (i, j) in enumerate(pairs):
+            if pos in computed:
+                score, _, _ = needleman_wunsch(
+                    sequences[i], sequences[j], band=band
+                )
+                cells = (
+                    len(sequences[i]) * len(sequences[j])
+                    if band is None
+                    else min(len(sequences[i]), len(sequences[j])) * (2 * band + 1)
+                )
+                counters.add(work=_CELL_WORK * cells, traffic=_CELL_TRAFFIC * cells)
+                distance = max(
+                    0.0, 1.0 - score / (2.0 * max(len(sequences[i]), 1))
+                )
+            else:
+                distance = 0.5 * float(
+                    np.abs(kmer_profiles[i] - kmer_profiles[j]).sum()
+                )
+                counters.add(work=0.5, traffic=16.0)
+            distances[i, j] = distances[j, i] = distance
+
+        # Stage 2: UPGMA-style guide order — greedily join the closest
+        # cluster pair; record the order sequences enter the alignment.
+        active = {i: [i] for i in range(_N_SEQUENCES)}
+        cluster_dist = distances.copy()
+        order: list[int] = []
+        while len(active) > 1:
+            keys = sorted(active)
+            best_pair, best_value = None, np.inf
+            for a_pos, a in enumerate(keys):
+                for b in keys[a_pos + 1 :]:
+                    if cluster_dist[a, b] < best_value:
+                        best_value = cluster_dist[a, b]
+                        best_pair = (a, b)
+            a, b = best_pair
+            for member in active[a] + active[b]:
+                if member not in order:
+                    order.append(member)
+            merged = active[a] + active[b]
+            for other in keys:
+                if other in (a, b):
+                    continue
+                cluster_dist[a, other] = cluster_dist[other, a] = 0.5 * (
+                    cluster_dist[a, other] + cluster_dist[b, other]
+                )
+            active[a] = merged
+            del active[b]
+
+        # Stage 3: progressive alignment — align each next sequence against
+        # the current consensus and merge.
+        aligned: list[np.ndarray] = [sequences[order[0]]]
+        for seq_index in order[1:]:
+            consensus = aligned[0]
+            _, gapped_consensus, gapped_new = needleman_wunsch(
+                consensus, sequences[seq_index], band=None
+            )
+            cells = len(consensus) * len(sequences[seq_index])
+            counters.add(work=_CELL_WORK * cells, traffic=_CELL_TRAFFIC * cells)
+            # Propagate the new gaps into previously aligned rows.
+            new_rows: list[np.ndarray] = []
+            for row in aligned:
+                out, cursor = [], 0
+                for symbol in gapped_consensus:
+                    if symbol == GAP_SYMBOL:
+                        out.append(GAP_SYMBOL)
+                    else:
+                        out.append(int(row[cursor]) if cursor < len(row) else GAP_SYMBOL)
+                        cursor += 1
+                new_rows.append(np.asarray(out))
+            new_rows.append(gapped_new)
+            aligned = new_rows
+        return sum_of_pairs_score(pad_alignment(aligned))
+
+    def quality_loss(self, precise_output: float, approx_output: float) -> float:
+        return score_drop_pct(approx_output, precise_output)

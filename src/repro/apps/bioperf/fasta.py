@@ -1,0 +1,161 @@
+"""fasta: diagonal-hash sequence similarity search (BioPerf).
+
+The FASTA algorithm finds high-identity diagonals between query and database
+sequences via word matching, then rescans the best diagonals with a banded
+dynamic program.  Output is the best similarity score per query.
+
+Approximation knobs
+-------------------
+``perforate_diagonals`` — rescan only the top fraction of candidate
+    diagonals with the banded DP.
+``perforate_words``     — use a sampled fraction of the query words when
+    building the diagonal histogram.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import Knob, LoopPerforation, perforated_count, perforated_indices
+from repro.apps.quality import relative_error_pct
+from repro.server.resources import ResourceProfile
+from repro.apps.bioperf._seqlib import (
+    MATCH_SCORE,
+    MISMATCH_SCORE,
+    encode_kmers,
+    mutate_sequence,
+    random_sequence,
+)
+
+_N_DATABASE = 120
+_DB_LEN = 140
+_N_QUERIES = 8
+_QUERY_LEN = 60
+_WORD = 4
+_BAND = 6
+_TOP_DIAGONALS = 8
+_WORD_WORK = 0.05
+_WORD_TRAFFIC = 4.0
+_RESCAN_WORK = 1.0
+_RESCAN_TRAFFIC = 10.0
+
+
+def _banded_rescan(
+    query: np.ndarray, subject: np.ndarray, diagonal: int, band: int
+) -> float:
+    """Score the band around ``diagonal`` (subject_pos - query_pos)."""
+    best = 0.0
+    running = 0.0
+    for q_pos in range(len(query)):
+        s_pos = q_pos + diagonal
+        if not 0 <= s_pos < len(subject):
+            continue
+        window = subject[
+            max(0, s_pos - band // 2) : min(len(subject), s_pos + band // 2 + 1)
+        ]
+        hit = MATCH_SCORE if query[q_pos] in window else MISMATCH_SCORE
+        running = max(0.0, running + hit)
+        best = max(best, running)
+    return best
+
+
+class Fasta(ApproximableApp):
+    """Diagonal-method sequence similarity (BioPerf)."""
+
+    metadata = AppMetadata(
+        name="fasta",
+        suite="bioperf",
+        nominal_exec_time=25.0,
+        parallel_fraction=0.90,
+        dynrio_overhead=0.029,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(30),
+            llc_intensity=0.64,
+            membw_per_core=units.gbytes_per_sec(5.2),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_diagonals": LoopPerforation(
+                "perforate_diagonals", (0.70, 0.50, 0.30)
+            ),
+            "perforate_words": LoopPerforation("perforate_words", (0.65, 0.40)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        keep_diagonals = settings["perforate_diagonals"]
+        keep_words = settings["perforate_words"]
+
+        database = [random_sequence(rng, _DB_LEN) for _ in range(_N_DATABASE)]
+        queries = []
+        for _ in range(_N_QUERIES):
+            source = database[rng.integers(0, _N_DATABASE)]
+            start = rng.integers(0, _DB_LEN - _QUERY_LEN)
+            queries.append(
+                mutate_sequence(rng, source[start : start + _QUERY_LEN], 0.10, 0.02)
+            )
+        counters.note_footprint(_N_DATABASE * _DB_LEN * 8.0 + units.mb(0.25))
+
+        db_kmers = [encode_kmers(seq, _WORD) for seq in database]
+        best_scores = np.zeros(_N_QUERIES)
+        for q_index, query in enumerate(queries):
+            query_kmers = encode_kmers(query, _WORD)
+            word_positions = perforated_indices(len(query_kmers), keep_words)
+            words: dict[int, int] = {
+                int(query_kmers[pos]): int(pos) for pos in word_positions
+            }
+            word_codes = np.asarray(sorted(words), dtype=np.int64)
+            word_offsets = np.asarray([words[c] for c in word_codes])
+            best = 0.0
+            for subject, subject_kmers in zip(database, db_kmers):
+                # Diagonal histogram from word hits (vectorized lookup).
+                lookup = np.searchsorted(word_codes, subject_kmers)
+                lookup = np.clip(lookup, 0, len(word_codes) - 1)
+                hit_mask = word_codes[lookup] == subject_kmers
+                s_positions = np.nonzero(hit_mask)[0]
+                diagonals = s_positions - word_offsets[lookup[hit_mask]]
+                unique_diagonals, diagonal_counts = np.unique(
+                    diagonals, return_counts=True
+                )
+                diagonal_hits = dict(
+                    zip(unique_diagonals.tolist(), diagonal_counts.tolist())
+                )
+                counters.add(
+                    work=_WORD_WORK * len(subject_kmers),
+                    traffic=_WORD_TRAFFIC * len(subject_kmers),
+                )
+                if not diagonal_hits:
+                    continue
+                ranked = sorted(
+                    diagonal_hits, key=diagonal_hits.__getitem__, reverse=True
+                )[:_TOP_DIAGONALS]
+                rescanned = ranked[
+                    : perforated_count(len(ranked), keep_diagonals)
+                ]
+                for diagonal in rescanned:
+                    score = _banded_rescan(query, subject, diagonal, _BAND)
+                    counters.add(
+                        work=_RESCAN_WORK * len(query),
+                        traffic=_RESCAN_TRAFFIC * len(query),
+                    )
+                    best = max(best, score)
+                for diagonal in ranked[len(rescanned):]:
+                    # Conservative word-count lower bound for skipped bands.
+                    best = max(best, float(diagonal_hits[diagonal]) * 1.0)
+            best_scores[q_index] = best
+        return best_scores
+
+    def quality_loss(
+        self, precise_output: np.ndarray, approx_output: np.ndarray
+    ) -> float:
+        return relative_error_pct(approx_output, precise_output)

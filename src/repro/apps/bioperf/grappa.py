@@ -1,0 +1,145 @@
+"""GRAPPA: breakpoint-distance phylogeny over gene orders (BioPerf).
+
+Genomes are signed permutations of a gene set; GRAPPA searches for the tree
+(and internal gene orders) minimizing total breakpoint distance.  This
+kernel evaluates candidate internal gene orders for a fixed star-ish
+topology: a greedy median search that repeatedly tries gene-order moves and
+keeps improvements.
+
+Approximation knobs
+-------------------
+``perforate_moves``      — try only a fraction of candidate moves per round.
+``perforate_rounds``     — fewer improvement rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    perforated_count,
+    perforated_indices,
+)
+from repro.apps.quality import cost_increase_pct
+from repro.server.resources import ResourceProfile
+
+_N_GENES = 30
+_N_GENOMES = 8
+_ROUNDS = 10
+_MOVES_PER_ROUND = 120
+_MOVE_WORK = 1.0
+_MOVE_TRAFFIC = 6.0
+
+
+def _breakpoint_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of adjacencies in ``a`` that are absent in ``b``."""
+    adjacencies_b = set()
+    for pos in range(len(b) - 1):
+        adjacencies_b.add((int(b[pos]), int(b[pos + 1])))
+        adjacencies_b.add((-int(b[pos + 1]), -int(b[pos])))
+    breaks = 0
+    for pos in range(len(a) - 1):
+        if (int(a[pos]), int(a[pos + 1])) not in adjacencies_b:
+            breaks += 1
+    return breaks
+
+
+def _random_inversion(
+    rng: np.random.Generator, genome: np.ndarray
+) -> np.ndarray:
+    i, j = sorted(rng.integers(0, len(genome), size=2))
+    if i == j:
+        return genome.copy()
+    out = genome.copy()
+    out[i:j] = -out[i:j][::-1]
+    return out
+
+
+class Grappa(ApproximableApp):
+    """Breakpoint-median search for gene-order phylogeny (BioPerf)."""
+
+    metadata = AppMetadata(
+        name="grappa",
+        suite="bioperf",
+        nominal_exec_time=35.0,
+        parallel_fraction=0.85,
+        dynrio_overhead=0.052,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(18),
+            llc_intensity=0.52,
+            membw_per_core=units.gbytes_per_sec(4.6),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_moves": LoopPerforation(
+                "perforate_moves", (0.70, 0.50, 0.32)
+            ),
+            "perforate_rounds": LoopPerforation("perforate_rounds", (0.60, 0.40)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_moves = settings["perforate_moves"]
+        keep_rounds = settings["perforate_rounds"]
+
+        identity = np.arange(1, _N_GENES + 1)
+        genomes = []
+        for _ in range(_N_GENOMES):
+            genome = identity.copy()
+            for _ in range(rng.integers(2, 5)):
+                genome = _random_inversion(rng, genome)
+            genomes.append(genome)
+        counters.note_footprint(_N_GENOMES * _N_GENES * 8.0 + units.mb(0.1))
+
+        def total_distance(median: np.ndarray) -> int:
+            return sum(_breakpoint_distance(median, g) for g in genomes)
+
+        median = genomes[0].copy()
+        best_cost = total_distance(median)
+        initial_cost = best_cost
+        rounds = perforated_count(_ROUNDS, keep_rounds)
+        for _ in range(rounds):
+            # Candidate moves are random inversions of the current median;
+            # perforation thins the candidate scan.
+            candidates = perforated_indices(_MOVES_PER_ROUND, keep_moves)
+            improved = False
+            for _ in candidates:
+                candidate = _random_inversion(rng, median)
+                cost = total_distance(candidate)
+                counters.add(
+                    work=_MOVE_WORK * _N_GENOMES,
+                    traffic=_MOVE_TRAFFIC * _N_GENOMES * _N_GENES / 8.0,
+                )
+                if cost < best_cost:
+                    median, best_cost = candidate, cost
+                    improved = True
+            if not improved:
+                continue
+        return float(best_cost), float(initial_cost)
+
+    def quality_loss(
+        self,
+        precise_output: tuple[float, float],
+        approx_output: tuple[float, float],
+    ) -> float:
+        # Normalize the cost excess by the *initial* (unoptimized) cost:
+        # breakpoint counts are small integers, so normalizing by the
+        # optimized cost would turn one missed inversion into a huge jump.
+        precise_cost, _ = precise_output
+        approx_cost, _ = approx_output
+        # Normalize by the total adjacency budget (genomes x adjacencies):
+        # "fraction of all adjacencies left broken beyond precise".
+        budget = float(_N_GENOMES * (_N_GENES - 1))
+        return float(max(0.0, 100.0 * (approx_cost - precise_cost) / budget))

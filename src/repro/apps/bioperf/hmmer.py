@@ -1,0 +1,161 @@
+"""hmmer: profile-HMM database scan (BioPerf).
+
+Scores every database sequence against a profile HMM (position-specific
+match emissions with affine-ish gap moves) via Viterbi, and reports the
+sequences scoring above threshold.  Half the database is planted from the
+profile's consensus, so a true hit set exists.
+
+As in real hmmer, a cheap word-match prefilter locates the most promising
+diagonal first; the Viterbi dynamic program then runs in a band around that
+diagonal.
+
+Approximation knobs
+-------------------
+``viterbi_band`` — kept fraction of the full band width around the seeded
+    diagonal.  Narrow bands skip most DP cells (large time and traffic
+    savings) at a small risk of clipping the optimal alignment.
+``precision``    — score rows at reduced precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import Knob, LoopPerforation, PrecisionReduction
+from repro.apps.quality import set_f1_loss_pct
+from repro.server.resources import ResourceProfile
+from repro.apps.bioperf._seqlib import (
+    _horizontal_gap_closure,
+    encode_kmers,
+    mutate_sequence,
+    random_sequence,
+)
+
+_PROFILE_LEN = 36
+_N_SEQUENCES = 220
+_SEQ_LEN = 90
+_PLANTED_FRACTION = 0.5
+_SEED_KMER = 4
+_GAP_COST = -2.0
+_HIT_THRESHOLD = 14.0
+_FULL_BAND = 30
+_CELL_WORK = 1.0
+_CELL_TRAFFIC = 12.0
+
+
+class Hmmer(ApproximableApp):
+    """Profile-HMM Viterbi database scan (BioPerf)."""
+
+    metadata = AppMetadata(
+        name="hmmer",
+        suite="bioperf",
+        nominal_exec_time=35.0,
+        parallel_fraction=0.90,
+        dynrio_overhead=0.040,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(26),
+            llc_intensity=0.60,
+            membw_per_core=units.gbytes_per_sec(5.0),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "viterbi_band": LoopPerforation("viterbi_band", (0.60, 0.40, 0.22)),
+            "precision": PrecisionReduction("precision"),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> frozenset[int]:
+        band_fraction = settings["viterbi_band"]
+        dtype = PrecisionReduction.dtype(settings["precision"])
+        bytes_per_elem = PrecisionReduction.bytes_per_element(settings["precision"])
+
+        consensus = random_sequence(rng, _PROFILE_LEN)
+        emissions = np.full((_PROFILE_LEN, 4), 0.08)
+        emissions[np.arange(_PROFILE_LEN), consensus] = 0.76
+        log_emit = (
+            np.log(emissions).astype(dtype).astype(np.float64) - np.log(0.25)
+        )
+
+        sequences: list[np.ndarray] = []
+        planted: list[bool] = []
+        for _ in range(_N_SEQUENCES):
+            seq = random_sequence(rng, _SEQ_LEN)
+            is_planted = rng.random() < _PLANTED_FRACTION
+            if is_planted:
+                insert = mutate_sequence(rng, consensus, 0.22, 0.12)
+                insert = insert[:_SEQ_LEN]
+                pad_left = int(rng.integers(0, _SEQ_LEN - len(insert) + 1))
+                seq[pad_left : pad_left + len(insert)] = insert
+            sequences.append(seq)
+            planted.append(is_planted)
+        counters.note_footprint(
+            _N_SEQUENCES * _SEQ_LEN * 8.0 + _PROFILE_LEN * _SEQ_LEN * bytes_per_elem
+        )
+
+        consensus_kmers = set(encode_kmers(consensus, _SEED_KMER).tolist())
+        # Band width is measured against the typical indel drift of a true
+        # alignment path (not the sequence length): narrow bands clip the
+        # paths of hits whose inserts drift far off the seeded diagonal.
+        band = max(2, int(round(_FULL_BAND * band_fraction)))
+        scores = np.zeros(_N_SEQUENCES)
+        neg = -1e9
+        for index, seq in enumerate(sequences):
+            n = len(seq)
+            # Seed pass: center the band on the best word-match diagonal.
+            seq_kmers = encode_kmers(seq, _SEED_KMER)
+            hit_positions = np.nonzero(
+                np.isin(seq_kmers, list(consensus_kmers), assume_unique=False)
+            )[0]
+            counters.add(work=0.02 * n, traffic=2.0 * n)
+            center_offset = (
+                int(np.median(hit_positions)) if len(hit_positions) else n // 2
+            )
+
+            previous = np.zeros(n + 1)
+            best = 0.0
+            cells = 0
+            for i in range(1, _PROFILE_LEN + 1):
+                # Band around the seeded diagonal for profile row i.
+                diag = center_offset - _PROFILE_LEN // 2 + i
+                j_low = max(1, diag - band)
+                j_high = min(n, diag + band)
+                if j_low > j_high:
+                    previous = np.full(n + 1, neg)
+                    continue
+                emit = log_emit[i - 1, seq]
+                candidate = np.full(n + 1, neg)
+                window = slice(j_low, j_high + 1)
+                candidate[window] = np.maximum(
+                    previous[j_low - 1 : j_high] + emit[j_low - 1 : j_high],
+                    previous[window] + _GAP_COST,
+                )
+                current = _horizontal_gap_closure(candidate, _GAP_COST)
+                current[: j_low] = neg
+                current[j_high + 1 :] = neg
+                cells += j_high - j_low + 1
+                best = max(best, float(current[window].max()))
+                previous = current
+            scores[index] = best
+            counters.add(
+                work=_CELL_WORK * cells,
+                traffic=_CELL_TRAFFIC * cells * (bytes_per_elem / 8.0),
+            )
+
+        # Absolute score threshold (as real hmmer reports hits above a fixed
+        # bit-score): narrow bands that clip alignments lose hits.
+        return frozenset(int(i) for i in np.nonzero(scores >= _HIT_THRESHOLD)[0])
+
+    def quality_loss(
+        self, precise_output: frozenset[int], approx_output: frozenset[int]
+    ) -> float:
+        return set_f1_loss_pct(set(precise_output), set(approx_output))

@@ -1,0 +1,158 @@
+"""T-Coffee: consistency-based multiple sequence alignment (BioPerf).
+
+T-Coffee builds a *library* of residue-pair weights from pairwise
+alignments, extends the library by triplet consistency (if a~b and b~c then
+a~c gains weight), and aligns with the extended weights.  This kernel
+implements that pipeline on a small family and scores the final alignment
+by a library-weighted sum-of-pairs.
+
+Approximation knobs
+-------------------
+``perforate_library``  — build the primary library from a fraction of the
+    sequence pairs.
+``perforate_triplets`` — run the consistency extension over a fraction of
+    the triplets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import Knob, LoopPerforation, perforated_indices
+from repro.apps.quality import score_drop_pct
+from repro.server.resources import ResourceProfile
+from repro.apps.bioperf._seqlib import (
+    GAP_SYMBOL,
+    needleman_wunsch,
+    pad_alignment,
+    sequence_family,
+    sum_of_pairs_score,
+)
+
+_N_SEQUENCES = 8
+_SEQ_LEN = 60
+_CELL_WORK = 1.0
+_CELL_TRAFFIC = 10.0
+_TRIPLET_WORK = 0.4
+_TRIPLET_TRAFFIC = 16.0
+
+
+class TCoffee(ApproximableApp):
+    """Consistency-based multiple alignment (BioPerf)."""
+
+    metadata = AppMetadata(
+        name="tcoffee",
+        suite="bioperf",
+        nominal_exec_time=45.0,
+        parallel_fraction=0.86,
+        dynrio_overhead=0.031,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(44),
+            llc_intensity=0.72,
+            membw_per_core=units.gbytes_per_sec(6.0),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_library": LoopPerforation(
+                "perforate_library", (0.85, 0.70, 0.55)
+            ),
+            "perforate_triplets": LoopPerforation(
+                "perforate_triplets", (0.60, 0.35)
+            ),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_library = settings["perforate_library"]
+        keep_triplets = settings["perforate_triplets"]
+
+        sequences = sequence_family(rng, _N_SEQUENCES, _SEQ_LEN, indel_rate=0.02)
+        counters.note_footprint(
+            sum(s.nbytes for s in sequences)
+            + _N_SEQUENCES * _N_SEQUENCES * _SEQ_LEN * 2.0
+        )
+
+        # Primary library: pair weights from pairwise alignment agreement.
+        pairs = [
+            (i, j)
+            for i in range(_N_SEQUENCES)
+            for j in range(i + 1, _N_SEQUENCES)
+        ]
+        library = np.zeros((_N_SEQUENCES, _N_SEQUENCES))
+        built = set(perforated_indices(len(pairs), keep_library).tolist())
+        kmer_profiles = []
+        for seq in sequences:
+            profile = np.bincount(
+                seq[:-1] * 4 + seq[1:], minlength=16
+            ).astype(np.float64)
+            kmer_profiles.append(profile / profile.sum())
+        for pos, (i, j) in enumerate(pairs):
+            if pos in built:
+                score, _, _ = needleman_wunsch(sequences[i], sequences[j])
+                cells = len(sequences[i]) * len(sequences[j])
+                counters.add(work=_CELL_WORK * cells, traffic=_CELL_TRAFFIC * cells)
+                weight = max(score, 0.0)
+            else:
+                # Cheap k-tuple similarity estimate for skipped pairs.
+                similarity = 1.0 - 0.5 * float(
+                    np.abs(kmer_profiles[i] - kmer_profiles[j]).sum()
+                )
+                weight = max(similarity, 0.0) * 1.2 * _SEQ_LEN
+                counters.add(work=0.5, traffic=16.0)
+            library[i, j] = library[j, i] = weight
+        np.fill_diagonal(library, 0.0)
+
+        # Consistency extension over perforated triplets.
+        triplets = [
+            (i, j, k)
+            for i in range(_N_SEQUENCES)
+            for j in range(i + 1, _N_SEQUENCES)
+            for k in range(_N_SEQUENCES)
+            if k not in (i, j)
+        ]
+        extended = library.copy()
+        for pos in perforated_indices(len(triplets), keep_triplets):
+            i, j, k = triplets[pos]
+            extended[i, j] += 0.15 * min(library[i, k], library[k, j])
+            extended[j, i] = extended[i, j]
+            counters.add(work=_TRIPLET_WORK, traffic=_TRIPLET_TRAFFIC)
+
+        # Align in order of *total* extended-library affinity: summing over
+        # all partners averages out individual estimation errors, so the
+        # guide order degrades gracefully under library perforation.
+        totals = extended.sum(axis=1)
+        order = sorted(range(_N_SEQUENCES), key=lambda s: -totals[s])
+        aligned: list[np.ndarray] = [sequences[order[0]]]
+        for seq_index in order[1:]:
+            consensus = aligned[0]
+            _, gapped_consensus, gapped_new = needleman_wunsch(
+                consensus, sequences[seq_index]
+            )
+            cells = len(consensus) * len(sequences[seq_index])
+            counters.add(work=_CELL_WORK * cells, traffic=_CELL_TRAFFIC * cells)
+            new_rows: list[np.ndarray] = []
+            for row in aligned:
+                out, cursor = [], 0
+                for symbol in gapped_consensus:
+                    if symbol == GAP_SYMBOL:
+                        out.append(GAP_SYMBOL)
+                    else:
+                        out.append(int(row[cursor]) if cursor < len(row) else GAP_SYMBOL)
+                        cursor += 1
+                new_rows.append(np.asarray(out))
+            new_rows.append(gapped_new)
+            aligned = new_rows
+        return sum_of_pairs_score(pad_alignment(aligned))
+
+    def quality_loss(self, precise_output: float, approx_output: float) -> float:
+        return score_drop_pct(approx_output, precise_output)

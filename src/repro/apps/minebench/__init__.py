@@ -1,0 +1,25 @@
+"""MineBench-derived approximate kernels (data mining)."""
+
+from repro.apps.minebench.bayesian import Bayesian
+from repro.apps.minebench.birch import Birch
+from repro.apps.minebench.fuzzy_kmeans import FuzzyKMeans
+from repro.apps.minebench.genenet import GeneNet
+from repro.apps.minebench.kmeans import KMeans
+from repro.apps.minebench.plsa import Plsa
+from repro.apps.minebench.scalparc import ScalParC
+from repro.apps.minebench.semphy import Semphy
+from repro.apps.minebench.snp import Snp
+from repro.apps.minebench.svmrfe import SvmRfe
+
+__all__ = [
+    "Bayesian",
+    "Birch",
+    "FuzzyKMeans",
+    "GeneNet",
+    "KMeans",
+    "Plsa",
+    "ScalParC",
+    "Semphy",
+    "Snp",
+    "SvmRfe",
+]

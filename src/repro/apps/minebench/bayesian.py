@@ -1,0 +1,133 @@
+"""Naive Bayesian classifier training and evaluation (MineBench).
+
+Trains a naive-Bayes model on a synthetic labeled table (discretized
+features) and reports held-out accuracy.  The training scan is the hot,
+traffic-dominant loop; the paper highlights bayesian as an app with a very
+*rich* design space — eight variants near the pareto frontier — which the
+wide knob grid below reproduces.
+
+Approximation knobs
+-------------------
+``perforate_rows``     — train on a fraction of the rows.
+``perforate_features`` — build likelihood tables for a fraction of the
+    features only (others fall back to the class prior).
+``precision``          — likelihood tables at reduced precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    PrecisionReduction,
+    perforated_indices,
+)
+from repro.apps.quality import accuracy_drop_pct
+from repro.server.resources import ResourceProfile
+
+_N_TRAIN = 2500
+_N_TEST = 1200
+_N_FEATURES = 16
+_N_BINS = 6
+_N_CLASSES = 6
+_ROW_WORK = 1.0
+_ROW_TRAFFIC_PER_FEATURE = 8.0
+_TEST_WORK = 0.8
+
+
+def _make_dataset(
+    rng: np.random.Generator, n: int, prototypes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw rows whose features match their class prototype with p=0.35."""
+    labels = rng.integers(0, _N_CLASSES, size=n)
+    noise = rng.integers(0, _N_BINS, size=(n, _N_FEATURES))
+    use_proto = rng.random((n, _N_FEATURES)) < 0.35
+    features = np.where(use_proto, prototypes[labels], noise)
+    return features, labels
+
+
+class Bayesian(ApproximableApp):
+    """Naive-Bayes classification (MineBench)."""
+
+    metadata = AppMetadata(
+        name="bayesian",
+        suite="minebench",
+        nominal_exec_time=55.0,
+        parallel_fraction=0.85,
+        dynrio_overhead=0.030,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(46),
+            llc_intensity=0.80,
+            membw_per_core=units.gbytes_per_sec(7.0),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_rows": LoopPerforation(
+                "perforate_rows", (0.85, 0.70, 0.55, 0.42, 0.30, 0.20)
+            ),
+            "perforate_features": LoopPerforation(
+                "perforate_features", (0.75, 0.50)
+            ),
+            "precision": PrecisionReduction("precision"),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_rows = settings["perforate_rows"]
+        keep_features = settings["perforate_features"]
+        dtype = PrecisionReduction.dtype(settings["precision"])
+        bytes_per_elem = PrecisionReduction.bytes_per_element(settings["precision"])
+
+        prototypes = rng.integers(0, _N_BINS, size=(_N_CLASSES, _N_FEATURES))
+        train_x, train_y = _make_dataset(rng, _N_TRAIN, prototypes)
+        test_x, test_y = _make_dataset(rng, _N_TEST, prototypes)
+        counters.note_footprint(
+            train_x.nbytes
+            + _N_CLASSES * _N_FEATURES * _N_BINS * bytes_per_elem
+        )
+
+        rows = perforated_indices(_N_TRAIN, keep_rows)
+        features = perforated_indices(_N_FEATURES, keep_features)
+        counters.add(
+            work=_ROW_WORK * len(rows) * len(features),
+            traffic=_ROW_TRAFFIC_PER_FEATURE * len(rows) * len(features),
+        )
+
+        counts = np.ones((_N_CLASSES, _N_FEATURES, _N_BINS), dtype=np.float64)
+        sub_x, sub_y = train_x[rows], train_y[rows]
+        for cls in range(_N_CLASSES):
+            cls_rows = sub_x[sub_y == cls]
+            for feature in features:
+                binned = np.bincount(cls_rows[:, feature], minlength=_N_BINS)
+                counts[cls, feature] += binned
+        likelihood = (
+            counts / counts.sum(axis=2, keepdims=True)
+        ).astype(dtype).astype(np.float64)
+        prior = np.bincount(sub_y, minlength=_N_CLASSES).astype(np.float64) + 1.0
+        prior /= prior.sum()
+
+        log_like = np.log(likelihood)
+        scores = np.log(prior)[None, :].repeat(_N_TEST, axis=0)
+        for feature in features:
+            scores += log_like[:, feature, test_x[:, feature]].T
+        counters.add(
+            work=_TEST_WORK * _N_TEST * len(features),
+            traffic=float(_N_TEST) * len(features) * bytes_per_elem,
+        )
+        predictions = scores.argmax(axis=1)
+        return float(np.mean(predictions == test_y))
+
+    def quality_loss(self, precise_output: float, approx_output: float) -> float:
+        return accuracy_drop_pct(precise_output, approx_output)

@@ -1,0 +1,145 @@
+"""BIRCH clustering-feature-tree clustering (MineBench).
+
+Streams points into a CF (clustering feature) tree — each leaf entry holds
+(count, linear sum, squared sum) — then clusters the leaf centroids with a
+few k-means passes, as the BIRCH global phase does.
+
+Approximation knobs
+-------------------
+``perforate_inserts`` — insert only a sampled fraction of the stream into
+    the tree (leaf statistics absorb proportionally less data).
+``perforate_global``  — fewer global-clustering refinement passes.
+``precision``         — CF statistics at reduced precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    PrecisionReduction,
+    perforated_count,
+    perforated_indices,
+)
+from repro.apps.quality import cost_increase_pct
+from repro.server.resources import ResourceProfile
+
+_N_POINTS = 4000
+_DIM = 8
+_THRESHOLD = 1.8
+_MAX_LEAVES = 96
+_GLOBAL_K = 8
+_TRUE_CLUSTERS = 36
+_GLOBAL_PASSES = 6
+_INSERT_WORK = 1.0
+_POINT_TRAFFIC = float(_DIM) * 8.0
+_GLOBAL_WORK = 0.5
+
+
+class Birch(ApproximableApp):
+    """CF-tree clustering (MineBench)."""
+
+    metadata = AppMetadata(
+        name="birch",
+        suite="minebench",
+        nominal_exec_time=30.0,
+        parallel_fraction=0.85,
+        dynrio_overhead=0.036,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(50),
+            llc_intensity=0.78,
+            membw_per_core=units.gbytes_per_sec(6.5),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_inserts": LoopPerforation(
+                "perforate_inserts", (0.80, 0.60, 0.45, 0.30)
+            ),
+            "perforate_global": LoopPerforation("perforate_global", (0.50, 0.34)),
+            "precision": PrecisionReduction("precision", ("float32",)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_inserts = settings["perforate_inserts"]
+        keep_global = settings["perforate_global"]
+        dtype = PrecisionReduction.dtype(settings["precision"])
+        bytes_per_elem = PrecisionReduction.bytes_per_element(settings["precision"])
+
+        # More latent blobs than fitted clusters makes the final cost
+        # sensitive to exactly where the (sampled) CF tree places leaves.
+        true_centers = rng.normal(0.0, 7.0, size=(_TRUE_CLUSTERS, _DIM))
+        assignment = rng.integers(0, _TRUE_CLUSTERS, size=_N_POINTS)
+        points = true_centers[assignment] + rng.normal(
+            0.0, 1.0, size=(_N_POINTS, _DIM)
+        )
+
+        # CF entries: counts + incrementally maintained centroids, stored at
+        # the knobbed precision.
+        cf_count = np.zeros(_MAX_LEAVES)
+        cf_centroid = np.zeros((_MAX_LEAVES, _DIM), dtype=dtype)
+        n_leaves = 0
+        inserted = perforated_indices(_N_POINTS, keep_inserts)
+        for index in inserted:
+            point = points[index]
+            counters.add(
+                work=_INSERT_WORK * max(n_leaves, 1),
+                traffic=_POINT_TRAFFIC
+                + float(max(n_leaves, 1)) * _DIM * bytes_per_elem,
+            )
+            if n_leaves:
+                centroids = cf_centroid[:n_leaves].astype(np.float64)
+                dists = np.linalg.norm(centroids - point, axis=1)
+                best = int(dists.argmin())
+                if dists[best] < _THRESHOLD or n_leaves >= _MAX_LEAVES:
+                    count = cf_count[best]
+                    updated = (centroids[best] * count + point) / (count + 1.0)
+                    cf_count[best] = count + 1.0
+                    cf_centroid[best] = updated.astype(dtype)
+                    continue
+            cf_count[n_leaves] = 1.0
+            cf_centroid[n_leaves] = point.astype(dtype)
+            n_leaves += 1
+        counters.note_footprint(points.nbytes + n_leaves * _DIM * bytes_per_elem)
+
+        leaf_centroids = cf_centroid[:n_leaves].astype(np.float64)
+        leaf_weights = cf_count[:n_leaves]
+        k = min(_GLOBAL_K, len(leaf_centroids))
+        centers = leaf_centroids[
+            rng.choice(len(leaf_centroids), k, replace=False)
+        ].copy()
+        for _ in range(perforated_count(_GLOBAL_PASSES, keep_global)):
+            dists = ((leaf_centroids[:, None, :] - centers[None, :, :]) ** 2).sum(
+                axis=2
+            )
+            labels = dists.argmin(axis=1)
+            counters.add(
+                work=_GLOBAL_WORK * len(leaf_centroids) * k,
+                traffic=float(len(leaf_centroids)) * _DIM * bytes_per_elem,
+            )
+            for j in range(k):
+                mask = labels == j
+                if mask.any():
+                    weights = leaf_weights[mask][:, None]
+                    centers[j] = (leaf_centroids[mask] * weights).sum(
+                        axis=0
+                    ) / weights.sum()
+
+        # Quality: SSE of the *full* dataset against the global centers.
+        final = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        return float(final.min(axis=1).sum())
+
+    def quality_loss(self, precise_output: float, approx_output: float) -> float:
+        return cost_increase_pct(approx_output, precise_output)

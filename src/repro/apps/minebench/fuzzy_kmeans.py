@@ -1,0 +1,129 @@
+"""Fuzzy k-means (fuzzy c-means) clustering (MineBench).
+
+Soft-membership clustering: each point belongs to every cluster with a
+weight; the n x c membership matrix update is the traffic-heavy hot loop.
+
+Approximation knobs
+-------------------
+``perforate_points`` — update memberships for a sampled fraction of points.
+``perforate_iters``  — fewer membership/centroid rounds.
+``precision``        — membership matrix at reduced precision (its n x c
+    footprint is the app's largest array, so this cuts footprint hard).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    PrecisionReduction,
+    perforated_count,
+    perforated_indices,
+)
+from repro.apps.quality import cost_increase_pct
+from repro.server.resources import ResourceProfile
+
+_N_POINTS = 1600
+_N_CLUSTERS = 8
+_DIM = 10
+_ITERS = 12
+_FUZZINESS = 2.0
+_UPDATE_WORK = 1.2
+_POINT_TRAFFIC = float(_DIM) * 8.0
+
+
+class FuzzyKMeans(ApproximableApp):
+    """Fuzzy c-means clustering (MineBench)."""
+
+    metadata = AppMetadata(
+        name="fuzzy_kmeans",
+        suite="minebench",
+        nominal_exec_time=35.0,
+        parallel_fraction=0.90,
+        dynrio_overhead=0.027,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(64),
+            llc_intensity=0.90,
+            membw_per_core=units.gbytes_per_sec(8.2),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_points": LoopPerforation(
+                "perforate_points", (0.80, 0.60, 0.42, 0.28)
+            ),
+            "perforate_iters": LoopPerforation("perforate_iters", (0.58, 0.34)),
+            "precision": PrecisionReduction("precision"),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_points = settings["perforate_points"]
+        keep_iters = settings["perforate_iters"]
+        dtype = PrecisionReduction.dtype(settings["precision"])
+        bytes_per_elem = PrecisionReduction.bytes_per_element(settings["precision"])
+
+        true_centers = rng.normal(0.0, 6.0, size=(3 * _N_CLUSTERS, _DIM))
+        assignment = rng.integers(0, 3 * _N_CLUSTERS, size=_N_POINTS)
+        points = true_centers[assignment] + rng.normal(
+            0.0, 1.0, size=(_N_POINTS, _DIM)
+        )
+        centroids = points[rng.choice(_N_POINTS, _N_CLUSTERS, replace=False)].copy()
+        # Distance-based soft initialization, as the MineBench code does: a
+        # point never updated by a perforated run keeps a sane membership.
+        init_dists = np.sqrt(
+            ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        ) + 1e-9
+        membership = (1.0 / init_dists) ** 2
+        membership /= membership.sum(axis=1, keepdims=True)
+        membership = membership.astype(dtype)
+        counters.note_footprint(
+            points.nbytes + membership.size * bytes_per_elem
+        )
+        iters = perforated_count(_ITERS, keep_iters)
+        updated = perforated_indices(_N_POINTS, keep_points)
+        exponent = 2.0 / (_FUZZINESS - 1.0)
+        for _ in range(iters):
+            weights = membership.astype(np.float64) ** _FUZZINESS
+            denom = weights.sum(axis=0)[:, None] + 1e-12
+            centroids = (weights.T @ points) / denom
+            subset = points[updated]
+            dists = np.sqrt(
+                ((subset[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            ) + 1e-9
+            ratio = (dists[:, :, None] / dists[:, None, :]) ** exponent
+            new_membership = 1.0 / ratio.sum(axis=2)
+            full = membership.astype(np.float64)
+            full[updated] = new_membership
+            membership = full.astype(dtype)
+            counters.add(
+                work=_UPDATE_WORK * len(updated) * _N_CLUSTERS,
+                traffic=_POINT_TRAFFIC * len(updated)
+                + float(len(updated)) * _N_CLUSTERS * bytes_per_elem,
+            )
+
+        # Evaluate the *centroids* the run produced: objective under the
+        # optimal memberships for those centroids (standard c-means quality
+        # evaluation; stale memberships of never-updated points are an
+        # artifact of perforation, not part of the solution).
+        dists = np.sqrt(
+            ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        ) + 1e-9
+        ratio = (dists[:, :, None] / dists[:, None, :]) ** exponent
+        optimal_membership = 1.0 / ratio.sum(axis=2)
+        dists_sq = dists**2
+        return float(((optimal_membership**_FUZZINESS) * dists_sq).sum())
+
+    def quality_loss(self, precise_output: float, approx_output: float) -> float:
+        return cost_increase_pct(approx_output, precise_output)

@@ -1,0 +1,147 @@
+"""GeneNet: gene-regulatory-network structure learning (MineBench).
+
+Hill-climbs a directed network over genes: starting from the empty graph,
+repeatedly score candidate edge additions by the mutual information between
+gene expression profiles (penalized per edge) and greedily add the best.
+
+Approximation knobs
+-------------------
+``perforate_candidates`` — score only a sampled fraction of the candidate
+    edges per hill-climbing step.
+``perforate_samples``    — estimate mutual information from a subsample of
+    the expression columns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import Knob, LoopPerforation, perforated_indices
+from repro.apps.quality import score_drop_pct
+from repro.server.resources import ResourceProfile
+
+_N_GENES = 24
+_N_SAMPLES = 400
+_N_EDGES_TO_ADD = 30
+_EDGE_PENALTY = 0.02
+_BINS = 4
+_CAND_WORK = 1.0
+_SAMPLE_TRAFFIC = 8.0
+
+
+def _discretize(expression: np.ndarray, bins: int = _BINS) -> np.ndarray:
+    """Per-gene quantile discretization into ``bins`` levels."""
+    out = np.empty_like(expression, dtype=np.int64)
+    for gene in range(expression.shape[0]):
+        edges = np.quantile(expression[gene], np.linspace(0, 1, bins + 1)[1:-1])
+        out[gene] = np.digitize(expression[gene], edges)
+    return out
+
+
+def _mutual_information_binned(x: np.ndarray, y: np.ndarray, bins: int = _BINS) -> float:
+    """MI of two pre-discretized vectors via a bincount joint table."""
+    joint = np.bincount(x * bins + y, minlength=bins * bins).astype(np.float64)
+    joint = joint.reshape(bins, bins)
+    joint /= joint.sum()
+    px = joint.sum(axis=1)
+    py = joint.sum(axis=0)
+    outer = np.outer(px, py)
+    mask = joint > 0
+    return float((joint[mask] * np.log(joint[mask] / outer[mask])).sum())
+
+
+class GeneNet(ApproximableApp):
+    """Gene-network hill climbing (MineBench)."""
+
+    metadata = AppMetadata(
+        name="genenet",
+        suite="minebench",
+        nominal_exec_time=40.0,
+        parallel_fraction=0.85,
+        dynrio_overhead=0.046,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(34),
+            llc_intensity=0.65,
+            membw_per_core=units.gbytes_per_sec(5.5),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_candidates": LoopPerforation(
+                "perforate_candidates", (0.70, 0.50, 0.32)
+            ),
+            "perforate_samples": LoopPerforation("perforate_samples", (0.60, 0.40)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_candidates = settings["perforate_candidates"]
+        keep_samples = settings["perforate_samples"]
+
+        # Expression data with a planted chain of regulatory influence.
+        expression = rng.normal(0.0, 1.0, size=(_N_GENES, _N_SAMPLES))
+        for gene in range(1, _N_GENES):
+            parent = rng.integers(0, gene)
+            influence = rng.uniform(0.4, 0.9)
+            expression[gene] = (
+                influence * expression[parent]
+                + (1 - influence) * expression[gene]
+            )
+        counters.note_footprint(expression.nbytes + _N_GENES * _N_GENES * 8.0)
+
+        sample_subset = perforated_indices(_N_SAMPLES, keep_samples)
+        binned_sub = _discretize(expression[:, sample_subset])
+        binned_full = _discretize(expression)
+
+        candidates = [
+            (i, j)
+            for i in range(_N_GENES)
+            for j in range(_N_GENES)
+            if i != j
+        ]
+        mi_cache: dict[tuple[int, int], float] = {}
+
+        def subset_mi(edge: tuple[int, int]) -> float:
+            if edge not in mi_cache:
+                i, j = edge
+                mi_cache[edge] = _mutual_information_binned(
+                    binned_sub[i], binned_sub[j]
+                )
+            return mi_cache[edge]
+
+        in_graph: set[tuple[int, int]] = set()
+        for _ in range(_N_EDGES_TO_ADD):
+            available = [e for e in candidates if e not in in_graph]
+            scan = perforated_indices(len(available), keep_candidates)
+            best_edge, best_gain = None, -np.inf
+            for pos in scan:
+                edge = available[pos]
+                gain = subset_mi(edge) - _EDGE_PENALTY
+                counters.add(
+                    work=_CAND_WORK,
+                    traffic=_SAMPLE_TRAFFIC * len(sample_subset),
+                )
+                if gain > best_gain:
+                    best_edge, best_gain = edge, gain
+            if best_edge is None or best_gain <= 0:
+                break
+            in_graph.add(best_edge)
+
+        # Output: network score on the *full* sample set.
+        final_score = 0.0
+        for i, j in in_graph:
+            final_score += _mutual_information_binned(binned_full[i], binned_full[j])
+        final_score -= _EDGE_PENALTY * len(in_graph)
+        return final_score
+
+    def quality_loss(self, precise_output: float, approx_output: float) -> float:
+        return score_drop_pct(approx_output, precise_output)

@@ -1,0 +1,143 @@
+"""PLSA: probabilistic latent semantic analysis via EM (MineBench).
+
+Fits topic distributions to a synthetic document-term matrix with the
+classic PLSA EM updates.  The E-step materializes the doc x word x topic
+responsibilities — the memory-heaviest loop in the suite, which is why the
+paper shows PLSA as one of the hardest co-runners for memcached (and an app
+whose approximation alone cannot restore memcached's QoS).
+
+Approximation knobs
+-------------------
+``perforate_docs``  — update responsibilities for a sampled fraction of the
+    documents each EM round.
+``perforate_iters`` — fewer EM rounds.
+``precision``       — factor matrices at reduced precision.
+
+Like bayesian, PLSA exposes a rich pareto frontier (8 selected variants in
+the paper), reproduced here by the dense knob grid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    PrecisionReduction,
+    perforated_count,
+    perforated_indices,
+)
+from repro.apps.quality import score_drop_pct
+from repro.server.resources import ResourceProfile
+
+_N_DOCS = 300
+_N_WORDS = 400
+_N_TOPICS = 8
+_ITERS = 12
+_WORDS_PER_DOC = 80
+_DOC_WORK = 1.0
+_DOC_TRAFFIC = float(_N_WORDS) * 2.0
+
+
+class Plsa(ApproximableApp):
+    """PLSA topic modeling via EM (MineBench)."""
+
+    metadata = AppMetadata(
+        name="plsa",
+        suite="minebench",
+        nominal_exec_time=40.0,
+        parallel_fraction=0.90,
+        dynrio_overhead=0.022,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(62),
+            llc_intensity=0.88,
+            membw_per_core=units.gbytes_per_sec(8.0),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_docs": LoopPerforation(
+                "perforate_docs", (0.80, 0.65, 0.50, 0.35)
+            ),
+            "perforate_iters": LoopPerforation(
+                "perforate_iters", (0.66, 0.50, 0.33)
+            ),
+            "precision": PrecisionReduction("precision"),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_docs = settings["perforate_docs"]
+        keep_iters = settings["perforate_iters"]
+        dtype = PrecisionReduction.dtype(settings["precision"])
+        bytes_per_elem = PrecisionReduction.bytes_per_element(settings["precision"])
+
+        # Documents generated from planted topics.
+        true_topic_word = rng.dirichlet(np.full(_N_WORDS, 0.05), size=_N_TOPICS)
+        true_doc_topic = rng.dirichlet(np.full(_N_TOPICS, 0.2), size=_N_DOCS)
+        term_matrix = np.zeros((_N_DOCS, _N_WORDS))
+        for doc in range(_N_DOCS):
+            word_dist = true_doc_topic[doc] @ true_topic_word
+            draws = rng.multinomial(_WORDS_PER_DOC, word_dist)
+            term_matrix[doc] = draws
+
+        doc_topic = rng.dirichlet(np.full(_N_TOPICS, 1.0), size=_N_DOCS).astype(dtype)
+        topic_word = rng.dirichlet(np.full(_N_WORDS, 1.0), size=_N_TOPICS).astype(
+            dtype
+        )
+        counters.note_footprint(
+            term_matrix.nbytes
+            + (doc_topic.size + topic_word.size) * bytes_per_elem
+        )
+
+        updated = perforated_indices(_N_DOCS, keep_docs)
+        for _ in range(perforated_count(_ITERS, keep_iters)):
+            dt = doc_topic.astype(np.float64)
+            tw = topic_word.astype(np.float64)
+            # E+M steps for the sampled docs.
+            sub_terms = term_matrix[updated]
+            mixture = dt[updated] @ tw + 1e-12
+            new_tw = np.zeros_like(tw)
+            new_dt = dt.copy()
+            for topic in range(_N_TOPICS):
+                responsibility = (
+                    dt[updated][:, topic : topic + 1] * tw[topic][None, :]
+                ) / mixture
+                weighted = sub_terms * responsibility
+                new_tw[topic] = weighted.sum(axis=0)
+                new_dt[updated, topic] = weighted.sum(axis=1)
+            counters.add(
+                work=_DOC_WORK * len(updated) * _N_TOPICS,
+                traffic=_DOC_TRAFFIC
+                * len(updated)
+                * _N_TOPICS
+                * (bytes_per_elem / 8.0),
+            )
+            new_tw = new_tw + 1e-9
+            new_tw /= new_tw.sum(axis=1, keepdims=True)
+            new_dt = new_dt + 1e-9
+            new_dt /= new_dt.sum(axis=1, keepdims=True)
+            doc_topic = new_dt.astype(dtype)
+            topic_word = new_tw.astype(dtype)
+
+        # Output: mean per-word log-likelihood over the full corpus (the
+        # quantity PLSA maximizes; perplexity exponentiates it and would
+        # over-amplify small fitting differences).
+        mixture = doc_topic.astype(np.float64) @ topic_word.astype(np.float64)
+        mixture = np.maximum(mixture, 1e-12)
+        total_words = term_matrix.sum()
+        return float((term_matrix * np.log(mixture)).sum() / total_words)
+
+    def quality_loss(self, precise_output: float, approx_output: float) -> float:
+        # Log-likelihoods are negative; less negative is better.
+        return score_drop_pct(-abs(approx_output), -abs(precise_output))

@@ -1,0 +1,176 @@
+"""ScalParC: scalable parallel decision-tree classification (MineBench).
+
+Induces a binary decision tree on continuous features by exhaustive split
+search (Gini impurity over sorted thresholds), then measures held-out
+accuracy.  The split-candidate scan over every (feature, threshold) pair is
+the hot loop.
+
+Approximation knobs
+-------------------
+``perforate_thresholds`` — evaluate only a sampled fraction of candidate
+    thresholds per feature.
+``perforate_features``   — consider only a sampled fraction of the features
+    at each node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import Knob, LoopPerforation, perforated_indices
+from repro.apps.quality import accuracy_drop_pct
+from repro.server.resources import ResourceProfile
+
+_N_TRAIN = 2400
+_N_TEST = 800
+_N_FEATURES = 16
+_MAX_DEPTH = 6
+_MIN_LEAF = 20
+_SPLIT_WORK = 1.0
+_ROW_TRAFFIC = 8.0
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    prediction: int = 0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if len(labels) == 0:
+        return 0.0
+    p = np.bincount(labels, minlength=2) / len(labels)
+    return float(1.0 - (p**2).sum())
+
+
+class ScalParC(ApproximableApp):
+    """Decision-tree induction (MineBench)."""
+
+    metadata = AppMetadata(
+        name="scalparc",
+        suite="minebench",
+        nominal_exec_time=30.0,
+        parallel_fraction=0.88,
+        dynrio_overhead=0.047,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(40),
+            llc_intensity=0.72,
+            membw_per_core=units.gbytes_per_sec(6.2),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_thresholds": LoopPerforation(
+                "perforate_thresholds", (0.60, 0.40, 0.25)
+            ),
+            "perforate_features": LoopPerforation("perforate_features", (0.62, 0.38)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_thresholds = settings["perforate_thresholds"]
+        keep_features = settings["perforate_features"]
+
+        def make_split_data(n: int) -> tuple[np.ndarray, np.ndarray]:
+            x = rng.normal(0.0, 1.0, size=(n, _N_FEATURES))
+            logits = (
+                1.4 * x[:, 0]
+                - 1.1 * (x[:, 1] > 0.3)
+                + 0.9 * x[:, 2] * (x[:, 3] > 0)
+                + 0.4 * x[:, 4]
+            )
+            y = (logits + rng.normal(0, 0.6, size=n) > 0).astype(np.int64)
+            return x, y
+
+        train_x, train_y = make_split_data(_N_TRAIN)
+        test_x, test_y = make_split_data(_N_TEST)
+        counters.note_footprint(train_x.nbytes + test_x.nbytes)
+
+        feature_subset = perforated_indices(_N_FEATURES, keep_features)
+
+        def build(rows: np.ndarray, depth: int) -> _Node:
+            labels = train_y[rows]
+            node = _Node(prediction=int(np.bincount(labels, minlength=2).argmax()))
+            if depth >= _MAX_DEPTH or len(rows) < 2 * _MIN_LEAF or _gini(labels) == 0:
+                return node
+            best_gain, best_feature, best_threshold = 0.0, -1, 0.0
+            parent_impurity = _gini(labels)
+            n = len(rows)
+            for feature in feature_subset:
+                values = train_x[rows, feature]
+                order = np.argsort(values)
+                sorted_values = values[order]
+                sorted_labels = labels[order]
+                candidates = perforated_indices(n - 1, keep_thresholds)
+                counters.add(
+                    work=_SPLIT_WORK * len(candidates),
+                    traffic=_ROW_TRAFFIC * n,
+                )
+                # Vectorized all-splits gain via prefix sums over the sorted
+                # labels: split at position p puts rows [0..p] on the left.
+                positives = np.cumsum(sorted_labels)
+                left_n = candidates + 1
+                right_n = n - left_n
+                valid = (left_n >= _MIN_LEAF) & (right_n >= _MIN_LEAF)
+                if not valid.any():
+                    continue
+                split_pos = candidates[valid]
+                left_n = left_n[valid].astype(np.float64)
+                right_n = right_n[valid].astype(np.float64)
+                left_pos = positives[split_pos].astype(np.float64)
+                right_pos = positives[-1] - left_pos
+                p_left = left_pos / left_n
+                p_right = right_pos / right_n
+                gini_left = 1.0 - p_left**2 - (1.0 - p_left) ** 2
+                gini_right = 1.0 - p_right**2 - (1.0 - p_right) ** 2
+                gains = parent_impurity - (
+                    left_n / n * gini_left + right_n / n * gini_right
+                )
+                pos = int(gains.argmax())
+                if gains[pos] > best_gain:
+                    split = split_pos[pos]
+                    best_gain = float(gains[pos])
+                    best_feature = int(feature)
+                    best_threshold = float(
+                        0.5 * (sorted_values[split] + sorted_values[split + 1])
+                    )
+            if best_feature < 0:
+                return node
+            node.feature, node.threshold = best_feature, best_threshold
+            mask = train_x[rows, best_feature] <= best_threshold
+            node.left = build(rows[mask], depth + 1)
+            node.right = build(rows[~mask], depth + 1)
+            return node
+
+        root = build(np.arange(_N_TRAIN), 0)
+
+        def predict(x: np.ndarray) -> np.ndarray:
+            out = np.zeros(len(x), dtype=np.int64)
+            for row in range(len(x)):
+                node = root
+                while node.left is not None and node.right is not None:
+                    node = (
+                        node.left
+                        if x[row, node.feature] <= node.threshold
+                        else node.right
+                    )
+                out[row] = node.prediction
+            return out
+
+        return float(np.mean(predict(test_x) == test_y))
+
+    def quality_loss(self, precise_output: float, approx_output: float) -> float:
+        return accuracy_drop_pct(precise_output, approx_output)

@@ -1,0 +1,123 @@
+"""SVM-RFE: recursive feature elimination with a linear SVM (MineBench).
+
+Trains a linear max-margin classifier (via a few epochs of sub-gradient
+descent on the hinge loss), removes the features with the smallest weight
+magnitudes, and repeats.  Output is the feature ranking.
+
+Approximation knobs
+-------------------
+``perforate_epochs`` — fewer training epochs per elimination round.
+``coarse_rounds``    — eliminate larger feature batches per round
+    (expressed as the keep-fraction of the precise round count).
+``precision``        — weights and data at reduced precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    PrecisionReduction,
+    perforated_count,
+)
+from repro.apps.quality import rank_correlation_loss_pct
+from repro.server.resources import ResourceProfile
+
+_N_SAMPLES = 600
+_N_FEATURES = 64
+_INFORMATIVE = 16
+_ROUNDS = 8
+_EPOCHS = 6
+_LEARNING_RATE = 0.05
+_EPOCH_WORK_PER_SAMPLE = 1.0
+_SAMPLE_TRAFFIC_PER_FEATURE = 8.0
+
+
+class SvmRfe(ApproximableApp):
+    """Linear-SVM recursive feature elimination (MineBench)."""
+
+    metadata = AppMetadata(
+        name="svmrfe",
+        suite="minebench",
+        nominal_exec_time=35.0,
+        parallel_fraction=0.90,
+        dynrio_overhead=0.036,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(46),
+            llc_intensity=0.80,
+            membw_per_core=units.gbytes_per_sec(7.2),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_epochs": LoopPerforation(
+                "perforate_epochs", (0.83, 0.66, 0.34)
+            ),
+            "coarse_rounds": LoopPerforation("coarse_rounds", (0.75, 0.50, 0.25)),
+            "precision": PrecisionReduction("precision"),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        keep_epochs = settings["perforate_epochs"]
+        keep_rounds = settings["coarse_rounds"]
+        dtype = PrecisionReduction.dtype(settings["precision"])
+        bytes_per_elem = PrecisionReduction.bytes_per_element(settings["precision"])
+
+        # Binary classification where only the first _INFORMATIVE features
+        # carry signal, with decaying strength (so a true ranking exists).
+        direction = np.zeros(_N_FEATURES)
+        direction[:_INFORMATIVE] = np.linspace(2.0, 0.4, _INFORMATIVE)
+        labels = rng.choice([-1.0, 1.0], size=_N_SAMPLES)
+        data = rng.normal(0.0, 1.0, size=(_N_SAMPLES, _N_FEATURES))
+        data += labels[:, None] * direction[None, :] * 0.5
+        data = data.astype(dtype)
+        counters.note_footprint(data.size * bytes_per_elem)
+
+        active = np.arange(_N_FEATURES)
+        elimination_order: list[int] = []
+        rounds = perforated_count(_ROUNDS, keep_rounds)
+        per_round = max(1, (_N_FEATURES - _INFORMATIVE // 2) // rounds)
+        epochs = perforated_count(_EPOCHS, keep_epochs)
+        while len(active) > per_round:
+            x = data[:, active].astype(np.float64)
+            weights = np.zeros(len(active))
+            for _ in range(epochs):
+                margin = labels * (x @ weights)
+                violators = margin < 1.0
+                gradient = -(labels[violators, None] * x[violators]).mean(axis=0)
+                weights -= _LEARNING_RATE * (gradient + 0.01 * weights)
+                counters.add(
+                    work=_EPOCH_WORK_PER_SAMPLE * _N_SAMPLES,
+                    traffic=_SAMPLE_TRAFFIC_PER_FEATURE
+                    * _N_SAMPLES
+                    * len(active)
+                    * (bytes_per_elem / 8.0),
+                )
+            weakest = np.argsort(np.abs(weights))[:per_round]
+            elimination_order.extend(active[weakest].tolist())
+            active = np.delete(active, weakest)
+        elimination_order.extend(active.tolist())
+
+        # Ranking: position in elimination order (later elimination =
+        # more important = higher rank value).
+        ranking = np.zeros(_N_FEATURES)
+        for rank, feature in enumerate(elimination_order):
+            ranking[feature] = rank
+        return ranking
+
+    def quality_loss(
+        self, precise_output: np.ndarray, approx_output: np.ndarray
+    ) -> float:
+        return rank_correlation_loss_pct(approx_output, precise_output)

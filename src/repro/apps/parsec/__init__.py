@@ -1,0 +1,7 @@
+"""PARSEC-derived approximate kernels: canneal, streamcluster, fluidanimate."""
+
+from repro.apps.parsec.canneal import Canneal
+from repro.apps.parsec.fluidanimate import Fluidanimate
+from repro.apps.parsec.streamcluster import Streamcluster
+
+__all__ = ["Canneal", "Fluidanimate", "Streamcluster"]

@@ -1,0 +1,139 @@
+"""fluidanimate: smoothed-particle-hydrodynamics fluid step.
+
+PARSEC's fluidanimate advances an SPH fluid: per timestep it computes
+particle densities from neighbors within a smoothing radius, derives
+pressure/viscosity forces, and integrates.  This kernel runs the same
+pipeline on a small particle box using a uniform grid for neighbor search.
+
+Approximation knobs
+-------------------
+``perforate_pairs``  — evaluate only a fraction of neighbor-pair
+    interactions (density/force kernels); the skipped contribution is
+    compensated by rescaling, trading accuracy for both time and traffic.
+``elide_cell_locks`` — accumulate forces without per-cell locks; models the
+    occasional lost update as small random force noise, and removes the
+    lock traffic.
+``precision``        — particle state at reduced precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    PrecisionReduction,
+    SyncElision,
+    perforated_indices,
+)
+from repro.apps.quality import rmse_pct
+from repro.server.resources import ResourceProfile
+
+_N_PARTICLES = 900
+_STEPS = 5
+_RADIUS = 0.12
+_BOX = 1.0
+_DT = 0.012
+_LOST_UPDATE_RATE = 0.02
+_PAIR_WORK = 1.0
+_LOCK_TRAFFIC = 48.0
+_INTEGRATE_WORK = 0.25
+
+
+class Fluidanimate(ApproximableApp):
+    """SPH fluid simulation step (PARSEC)."""
+
+    metadata = AppMetadata(
+        name="fluidanimate",
+        suite="parsec",
+        nominal_exec_time=30.0,
+        parallel_fraction=0.88,
+        dynrio_overhead=0.042,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(42),
+            llc_intensity=0.70,
+            membw_per_core=units.gbytes_per_sec(6.0),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_pairs": LoopPerforation(
+                "perforate_pairs", (0.80, 0.60, 0.45)
+            ),
+            "elide_cell_locks": SyncElision("elide_cell_locks"),
+            "precision": PrecisionReduction("precision", ("float32",)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        keep_pairs = settings["perforate_pairs"]
+        elide_locks = settings["elide_cell_locks"]
+        dtype = PrecisionReduction.dtype(settings["precision"])
+        bytes_per_elem = PrecisionReduction.bytes_per_element(settings["precision"])
+
+        pos = (rng.random((_N_PARTICLES, 3)) * _BOX).astype(dtype)
+        vel = np.zeros((_N_PARTICLES, 3), dtype=dtype)
+        lock_bytes = 0.0 if elide_locks else 4096.0
+        counters.note_footprint(2.0 * pos.size * bytes_per_elem + lock_bytes)
+
+        for _ in range(_STEPS):
+            work_pos = pos.astype(np.float64)
+            # Neighbor pairs within the smoothing radius (vectorized grid-free
+            # search is fine at this scale).
+            diff = work_pos[:, None, :] - work_pos[None, :, :]
+            dist = np.sqrt((diff**2).sum(axis=2))
+            i_idx, j_idx = np.nonzero((dist < _RADIUS) & (dist > 0))
+            upper = i_idx < j_idx
+            i_idx, j_idx = i_idx[upper], j_idx[upper]
+
+            kept = perforated_indices(len(i_idx), keep_pairs)
+            i_k, j_k = i_idx[kept], j_idx[kept]
+            counters.add(
+                work=_PAIR_WORK * len(i_k),
+                traffic=float(len(i_k)) * 6.0 * bytes_per_elem,
+            )
+            if not elide_locks:
+                counters.add(
+                    work=0.05 * len(i_k), traffic=_LOCK_TRAFFIC * len(i_k)
+                )
+
+            # Density and symmetric pressure-like forces, rescaled to
+            # compensate for the skipped pairs.
+            compensation = 1.0 / keep_pairs
+            r = dist[i_k, j_k]
+            w = (1.0 - r / _RADIUS) ** 2
+            direction = diff[i_k, j_k] / r[:, None]
+            force = (w[:, None] * direction) * 40.0 * compensation
+            if elide_locks:
+                lost = rng.random(len(i_k)) < _LOST_UPDATE_RATE
+                force[lost] = 0.0
+            accel = np.zeros_like(work_pos)
+            np.add.at(accel, i_k, force)
+            np.add.at(accel, j_k, -force)
+
+            gravity = np.array([0.0, -9.8, 0.0]) * 0.2
+            new_vel = vel.astype(np.float64) + _DT * (accel + gravity)
+            new_pos = work_pos + _DT * new_vel
+            np.clip(new_pos, 0.0, _BOX, out=new_pos)
+            pos = new_pos.astype(dtype)
+            vel = new_vel.astype(dtype)
+            counters.add(
+                work=_INTEGRATE_WORK * _N_PARTICLES,
+                traffic=float(_N_PARTICLES) * 6.0 * bytes_per_elem,
+            )
+        return pos.astype(np.float64)
+
+    def quality_loss(
+        self, precise_output: np.ndarray, approx_output: np.ndarray
+    ) -> float:
+        return rmse_pct(approx_output, precise_output)

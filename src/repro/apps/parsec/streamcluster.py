@@ -1,0 +1,152 @@
+"""streamcluster: online k-median clustering of a point stream.
+
+The PARSEC streamcluster processes a stream of points in chunks, opening
+facilities when assignment cost justifies it and periodically consolidating
+centers with local search.  This kernel implements the same facility-
+location flavor: chunked streaming assignment, probabilistic facility
+opening, then consolidation down to k centers.
+
+Approximation knobs
+-------------------
+``perforate_points``  — sample only a fraction of each chunk during the
+    assignment scan (the stream scan dominates both work *and* traffic, so
+    perforation here is a strong decontention knob).
+``perforate_refine``  — run only a fraction of the consolidation passes.
+``precision``         — store/stream coordinates at reduced precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    PrecisionReduction,
+    perforated_count,
+    perforated_indices,
+)
+from repro.apps.quality import cost_increase_pct
+from repro.server.resources import ResourceProfile
+
+_N_POINTS = 3200
+_DIM = 12
+_CHUNK = 400
+_TARGET_K = 10
+_REFINE_PASSES = 6
+_SCAN_WORK = 1.0
+_REFINE_WORK = 0.6
+
+
+class Streamcluster(ApproximableApp):
+    """Online k-median / facility location (PARSEC)."""
+
+    metadata = AppMetadata(
+        name="streamcluster",
+        suite="parsec",
+        nominal_exec_time=35.0,
+        parallel_fraction=0.90,
+        dynrio_overhead=0.041,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(72),
+            llc_intensity=0.90,
+            membw_per_core=units.gbytes_per_sec(8.5),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_points": LoopPerforation(
+                "perforate_points", (0.80, 0.60, 0.45, 0.30)
+            ),
+            "perforate_refine": LoopPerforation("perforate_refine", (0.50, 0.34)),
+            "precision": PrecisionReduction("precision"),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> float:
+        keep_points = settings["perforate_points"]
+        keep_refine = settings["perforate_refine"]
+        dtype = PrecisionReduction.dtype(settings["precision"])
+        bytes_per_elem = PrecisionReduction.bytes_per_element(settings["precision"])
+
+        # Stream drawn from a mixture of well-separated gaussians.
+        true_centers = rng.normal(0.0, 10.0, size=(_TARGET_K, _DIM))
+        assignments = rng.integers(0, _TARGET_K, size=_N_POINTS)
+        points = (
+            true_centers[assignments] + rng.normal(0.0, 1.0, size=(_N_POINTS, _DIM))
+        ).astype(dtype)
+        counters.note_footprint(points.size * bytes_per_elem)
+
+        centers: list[np.ndarray] = []
+        center_mass: list[float] = []
+        open_cost = 400.0
+        for start in range(0, _N_POINTS, _CHUNK):
+            chunk = points[start : start + _CHUNK]
+            scan = perforated_indices(len(chunk), keep_points)
+            sampled = chunk[scan].astype(np.float64)
+            counters.add(
+                work=_SCAN_WORK * sampled.shape[0] * max(len(centers), 1),
+                traffic=float(sampled.shape[0]) * _DIM * bytes_per_elem
+                + float(max(len(centers), 1)) * _DIM * 8.0,
+            )
+            if not centers:
+                centers.append(sampled.mean(axis=0))
+                center_mass.append(float(len(chunk)))
+                continue
+            center_arr = np.stack(centers)
+            dists = np.linalg.norm(
+                sampled[:, None, :] - center_arr[None, :, :], axis=2
+            )
+            nearest = dists.min(axis=1)
+            labels = dists.argmin(axis=1)
+            for j in range(len(centers)):
+                center_mass[j] += float((labels == j).sum()) / keep_points
+            # Open a facility at the most expensive sampled point when the
+            # (sampling-compensated) assignment cost of the chunk exceeds
+            # the opening cost.
+            estimated_cost = nearest.sum() / keep_points
+            if estimated_cost > open_cost and len(centers) < 3 * _TARGET_K:
+                centers.append(sampled[int(nearest.argmax())].copy())
+                center_mass.append(1.0)
+
+        # Consolidation: weighted k-median on the opened *facilities* (as in
+        # real streamcluster — the raw stream is gone by now), refined with
+        # Lloyd-style passes on facility centroids weighted by the stream
+        # mass they absorbed.
+        facilities = np.stack(centers)
+        weights = np.asarray(center_mass)
+        center_arr = facilities[:_TARGET_K].copy()
+        passes = perforated_count(_REFINE_PASSES, keep_refine)
+        for _ in range(passes):
+            dists = np.linalg.norm(
+                facilities[:, None, :] - center_arr[None, :, :], axis=2
+            )
+            labels = dists.argmin(axis=1)
+            counters.add(
+                work=_REFINE_WORK * len(facilities) * center_arr.shape[0],
+                traffic=float(len(facilities)) * _DIM * bytes_per_elem,
+            )
+            for j in range(center_arr.shape[0]):
+                mask = labels == j
+                if mask.any():
+                    member_weights = weights[mask][:, None]
+                    center_arr[j] = (facilities[mask] * member_weights).sum(
+                        axis=0
+                    ) / member_weights.sum()
+
+        final_dists = np.linalg.norm(
+            points[:, None, :].astype(np.float64) - center_arr[None, :, :], axis=2
+        )
+        return float(final_dists.min(axis=1).sum())
+
+    def quality_loss(self, precise_output: float, approx_output: float) -> float:
+        return cost_increase_pct(approx_output, precise_output)

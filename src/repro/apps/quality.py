@@ -1,0 +1,106 @@
+"""Output-quality metrics.
+
+Every app quantifies its output quality against precise execution as an
+*inaccuracy percentage* (0 = identical).  These helpers implement the metric
+families the 24 kernels use; each clamps at zero so float jitter in a
+better-than-precise approximate result never reports negative inaccuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _clamp(value: float) -> float:
+    if np.isnan(value):
+        return 100.0
+    return float(max(0.0, value))
+
+
+def cost_increase_pct(approx_cost: float, precise_cost: float) -> float:
+    """Inaccuracy for minimize-cost outputs (clustering SSE, wire length...)."""
+    if precise_cost == 0:
+        return 0.0 if approx_cost == 0 else 100.0
+    return _clamp(100.0 * (approx_cost - precise_cost) / abs(precise_cost))
+
+
+def score_drop_pct(approx_score: float, precise_score: float) -> float:
+    """Inaccuracy for maximize-score outputs (alignment score, likelihood)."""
+    if precise_score == 0:
+        return 0.0 if approx_score == 0 else 100.0
+    return _clamp(100.0 * (precise_score - approx_score) / abs(precise_score))
+
+
+def accuracy_drop_pct(precise_accuracy: float, approx_accuracy: float) -> float:
+    """Inaccuracy for classifiers: drop in accuracy, percentage points."""
+    return _clamp(100.0 * (precise_accuracy - approx_accuracy))
+
+
+def rmse_pct(approx: np.ndarray, precise: np.ndarray) -> float:
+    """Root-mean-square error as a percentage of the precise dynamic range."""
+    precise = np.asarray(precise, dtype=np.float64)
+    approx = np.asarray(approx, dtype=np.float64)
+    if precise.shape != approx.shape:
+        raise ValueError(f"shape mismatch: {precise.shape} vs {approx.shape}")
+    span = float(precise.max() - precise.min())
+    if span == 0:
+        span = max(1e-12, float(np.abs(precise).max()))
+    rmse = float(np.sqrt(np.mean((approx - precise) ** 2)))
+    return _clamp(100.0 * rmse / span)
+
+
+def relative_error_pct(approx: np.ndarray, precise: np.ndarray) -> float:
+    """Mean elementwise relative error, in percent."""
+    precise = np.asarray(precise, dtype=np.float64)
+    approx = np.asarray(approx, dtype=np.float64)
+    scale = np.maximum(np.abs(precise), 1e-12)
+    return _clamp(100.0 * float(np.mean(np.abs(approx - precise) / scale)))
+
+
+def set_f1_loss_pct(precise_items: set, approx_items: set) -> float:
+    """1 - F1 of the approximate item set against the precise one, percent."""
+    if not precise_items and not approx_items:
+        return 0.0
+    intersection = len(precise_items & approx_items)
+    if intersection == 0:
+        return 100.0
+    precision = intersection / len(approx_items) if approx_items else 0.0
+    recall = intersection / len(precise_items) if precise_items else 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return _clamp(100.0 * (1.0 - f1))
+
+
+def assignment_disagreement_pct(
+    approx_labels: np.ndarray, precise_labels: np.ndarray
+) -> float:
+    """Fraction of items assigned differently (label-permutation naive)."""
+    precise_labels = np.asarray(precise_labels)
+    approx_labels = np.asarray(approx_labels)
+    if precise_labels.shape != approx_labels.shape:
+        raise ValueError("label arrays must have equal shape")
+    if precise_labels.size == 0:
+        return 0.0
+    return _clamp(100.0 * float(np.mean(precise_labels != approx_labels)))
+
+
+def rank_correlation_loss_pct(
+    approx_ranking: np.ndarray, precise_ranking: np.ndarray
+) -> float:
+    """1 - Spearman correlation between two rankings, in percent (halved so
+    a fully reversed ranking reads as 100)."""
+    precise_ranking = np.asarray(precise_ranking, dtype=np.float64)
+    approx_ranking = np.asarray(approx_ranking, dtype=np.float64)
+    if precise_ranking.shape != approx_ranking.shape:
+        raise ValueError("rankings must have equal shape")
+    n = precise_ranking.size
+    if n < 2:
+        return 0.0
+    precise_centered = precise_ranking - precise_ranking.mean()
+    approx_centered = approx_ranking - approx_ranking.mean()
+    denom = float(
+        np.sqrt((precise_centered**2).sum() * (approx_centered**2).sum())
+    )
+    if denom == 0:
+        return 0.0
+    rho = float((precise_centered * approx_centered).sum() / denom)
+    return _clamp(100.0 * (1.0 - rho) / 2.0)

@@ -1,0 +1,102 @@
+"""Registry of the 24 approximate applications (paper Section 5)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import ApproximableApp
+from repro.apps.bioperf import (
+    Blast,
+    ClustalW,
+    CombinatorialExtension,
+    Fasta,
+    Glimmer,
+    Grappa,
+    Hmmer,
+    TCoffee,
+)
+from repro.apps.minebench import (
+    Bayesian,
+    Birch,
+    FuzzyKMeans,
+    GeneNet,
+    KMeans,
+    Plsa,
+    ScalParC,
+    Semphy,
+    Snp,
+    SvmRfe,
+)
+from repro.apps.parsec import Canneal, Fluidanimate, Streamcluster
+from repro.apps.splash2 import Raytrace, WaterNSquared, WaterSpatial
+
+_FACTORIES: dict[str, Callable[[], ApproximableApp]] = {
+    # PARSEC
+    "fluidanimate": Fluidanimate,
+    "canneal": Canneal,
+    "streamcluster": Streamcluster,
+    # SPLASH-2
+    "water_nsquared": WaterNSquared,
+    "water_spatial": WaterSpatial,
+    "raytrace": Raytrace,
+    # MineBench
+    "bayesian": Bayesian,
+    "kmeans": KMeans,
+    "birch": Birch,
+    "snp": Snp,
+    "genenet": GeneNet,
+    "fuzzy_kmeans": FuzzyKMeans,
+    "semphy": Semphy,
+    "svmrfe": SvmRfe,
+    "plsa": Plsa,
+    "scalparc": ScalParC,
+    # BioPerf
+    "hmmer": Hmmer,
+    "blast": Blast,
+    "fasta": Fasta,
+    "grappa": Grappa,
+    "clustalw": ClustalW,
+    "tcoffee": TCoffee,
+    "glimmer": Glimmer,
+    "ce": CombinatorialExtension,
+}
+
+ALL_APP_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+SUITES: dict[str, tuple[str, ...]] = {
+    "parsec": ("fluidanimate", "canneal", "streamcluster"),
+    "splash2": ("water_nsquared", "water_spatial", "raytrace"),
+    "minebench": (
+        "bayesian",
+        "kmeans",
+        "birch",
+        "snp",
+        "genenet",
+        "fuzzy_kmeans",
+        "semphy",
+        "svmrfe",
+        "plsa",
+        "scalparc",
+    ),
+    "bioperf": (
+        "hmmer",
+        "blast",
+        "fasta",
+        "grappa",
+        "clustalw",
+        "tcoffee",
+        "glimmer",
+        "ce",
+    ),
+}
+
+
+def make_app(name: str) -> ApproximableApp:
+    """Instantiate one of the 24 approximate applications by name."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {name!r}; expected one of {sorted(_FACTORIES)}"
+        ) from None
+    return factory()

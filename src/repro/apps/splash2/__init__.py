@@ -1,0 +1,7 @@
+"""SPLASH-2-derived approximate kernels: water variants and raytrace."""
+
+from repro.apps.splash2.raytrace import Raytrace
+from repro.apps.splash2.water_nsquared import WaterNSquared
+from repro.apps.splash2.water_spatial import WaterSpatial
+
+__all__ = ["Raytrace", "WaterNSquared", "WaterSpatial"]

@@ -1,0 +1,163 @@
+"""raytrace: a small sphere-scene ray tracer.
+
+SPLASH-2's raytrace renders a scene with recursive rays.  This kernel
+renders a fixed sphere-and-plane scene: one primary ray per pixel, a shadow
+ray toward the light, and one reflection bounce for reflective surfaces.
+
+Approximation knobs
+-------------------
+``perforate_reflection`` — trace the reflection bounce for only a fraction
+    of the pixels (others take the local shade).  The visual error is tiny,
+    matching the paper's raytrace inaccuracy axis of < 0.1 %.
+``perforate_shadows``    — evaluate shadow rays for only a fraction of
+    pixels, reusing the neighbor verdict elsewhere.
+
+raytrace is the paper's example of an app with few useful variants: only two
+selected points within the 5 % quality budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import Knob, LoopPerforation, perforated_indices
+from repro.apps.quality import rmse_pct
+from repro.server.resources import ResourceProfile
+
+_RES = 48
+_SPHERES = 6
+_PRIMARY_WORK = 1.0
+_SECONDARY_WORK = 0.9
+_RAY_TRAFFIC = 64.0
+
+
+def _intersect(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    centers: np.ndarray,
+    radii: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest sphere hit per ray; returns (t, sphere_index), inf/-1 on miss."""
+    oc = origins[:, None, :] - centers[None, :, :]
+    b = (oc * directions[:, None, :]).sum(axis=2)
+    c = (oc**2).sum(axis=2) - radii[None, :] ** 2
+    disc = b**2 - c
+    hit = disc > 0
+    sqrt_disc = np.sqrt(np.where(hit, disc, 0.0))
+    t = np.where(hit, -b - sqrt_disc, np.inf)
+    t = np.where(t > 1e-4, t, np.inf)
+    best = t.argmin(axis=1)
+    best_t = t[np.arange(len(t)), best]
+    best_idx = np.where(np.isfinite(best_t), best, -1)
+    return best_t, best_idx
+
+
+class Raytrace(ApproximableApp):
+    """Sphere-scene ray tracer (SPLASH-2)."""
+
+    metadata = AppMetadata(
+        name="raytrace",
+        suite="splash2",
+        nominal_exec_time=25.0,
+        parallel_fraction=0.95,
+        dynrio_overhead=0.017,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(36),
+            llc_intensity=0.75,
+            membw_per_core=units.gbytes_per_sec(5.0),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_reflection": LoopPerforation(
+                "perforate_reflection", (0.50, 0.20)
+            ),
+            "perforate_shadows": LoopPerforation("perforate_shadows", (0.50,)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        keep_reflection = settings["perforate_reflection"]
+        keep_shadows = settings["perforate_shadows"]
+
+        centers = rng.uniform(-2.5, 2.5, size=(_SPHERES, 3))
+        centers[:, 2] = rng.uniform(4.0, 8.0, size=_SPHERES)
+        radii = rng.uniform(0.6, 1.2, size=_SPHERES)
+        albedo = rng.uniform(0.3, 0.9, size=_SPHERES)
+        light = np.array([5.0, 5.0, 0.0])
+        counters.note_footprint(units.mb(1) + centers.nbytes + radii.nbytes)
+
+        n_pixels = _RES * _RES
+        px, py = np.meshgrid(
+            np.linspace(-1, 1, _RES), np.linspace(-1, 1, _RES), indexing="xy"
+        )
+        directions = np.stack(
+            [px.ravel(), py.ravel(), np.full(n_pixels, 1.5)], axis=1
+        )
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        origins = np.zeros((n_pixels, 3))
+
+        t_hit, idx_hit = _intersect(origins, directions, centers, radii)
+        counters.add(
+            work=_PRIMARY_WORK * n_pixels,
+            traffic=_RAY_TRAFFIC * n_pixels,
+        )
+        image = np.full(n_pixels, 0.05)  # background
+        hits = np.nonzero(idx_hit >= 0)[0]
+        if len(hits) == 0:
+            return image.reshape(_RES, _RES)
+
+        hit_points = origins[hits] + directions[hits] * t_hit[hits, None]
+        normals = hit_points - centers[idx_hit[hits]]
+        normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+        to_light = light[None, :] - hit_points
+        to_light /= np.linalg.norm(to_light, axis=1, keepdims=True)
+        diffuse = np.clip((normals * to_light).sum(axis=1), 0.0, 1.0)
+        shade = albedo[idx_hit[hits]] * diffuse
+
+        # Shadow rays for a perforated subset; unevaluated pixels inherit the
+        # verdict of the nearest evaluated pixel (in hit order).
+        shadow_subset = perforated_indices(len(hits), keep_shadows)
+        s_origins = hit_points[shadow_subset] + normals[shadow_subset] * 1e-3
+        s_t, s_idx = _intersect(
+            s_origins, to_light[shadow_subset], centers, radii
+        )
+        counters.add(
+            work=_SECONDARY_WORK * len(shadow_subset),
+            traffic=_RAY_TRAFFIC * len(shadow_subset),
+        )
+        occluded = s_idx >= 0
+        nearest = np.searchsorted(shadow_subset, np.arange(len(hits)))
+        nearest = np.clip(nearest, 0, len(shadow_subset) - 1)
+        shade[occluded[nearest]] *= 0.60
+
+        # Reflection bounce for a perforated subset of hit pixels.
+        reflect_subset = perforated_indices(len(hits), keep_reflection)
+        r_dirs = directions[hits][reflect_subset]
+        r_norm = normals[reflect_subset]
+        reflected = r_dirs - 2.0 * (r_dirs * r_norm).sum(axis=1)[:, None] * r_norm
+        r_origins = hit_points[reflect_subset] + r_norm * 1e-3
+        r_t, r_idx = _intersect(r_origins, reflected, centers, radii)
+        counters.add(
+            work=_SECONDARY_WORK * len(reflect_subset),
+            traffic=_RAY_TRAFFIC * len(reflect_subset),
+        )
+        r_shade = np.where(r_idx >= 0, albedo[np.clip(r_idx, 0, None)] * 0.5, 0.0)
+        shade[reflect_subset] = 0.96 * shade[reflect_subset] + 0.04 * r_shade
+
+        image[hits] = shade
+        return image.reshape(_RES, _RES)
+
+    def quality_loss(
+        self, precise_output: np.ndarray, approx_output: np.ndarray
+    ) -> float:
+        return rmse_pct(approx_output, precise_output)

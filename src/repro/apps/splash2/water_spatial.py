@@ -1,0 +1,140 @@
+"""water_spatial: cell-list molecular dynamics.
+
+SPLASH-2's water_spatial is the linked-cell variant of the water code: the
+box is partitioned into cells and only atoms in the same cell interact at
+short range.  The short-range phase dominates runtime; a long-range
+correction over sampled far pairs is the perforable slice.
+
+Approximation knobs
+-------------------
+``perforate_correction`` — perforate the long-range correction loop.
+    Because that loop is only a modest fraction of total work, even
+    aggressive perforation barely shortens execution — reproducing the
+    paper's observation that water_spatial's approximate variants form an
+    almost vertical line (quality drops, time doesn't), and its execution
+    time under Pliant can exceed precise when cores are reclaimed.
+``precision`` — particle state at reduced precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import AppMetadata, ApproximableApp, KernelCounters
+from repro.apps.knobs import (
+    Knob,
+    LoopPerforation,
+    PrecisionReduction,
+    perforated_indices,
+)
+from repro.apps.quality import rmse_pct
+from repro.server.resources import ResourceProfile
+
+_N_ATOMS = 400
+_STEPS = 4
+_CELLS = 3
+_DT = 0.004
+_CORRECTION_PAIRS = 2500
+_SHORT_WORK = 1.0
+_SHORT_TRAFFIC = 24.0
+_CORRECTION_WORK = 0.18
+_CORRECTION_TRAFFIC = 4.0
+
+
+class WaterSpatial(ApproximableApp):
+    """Cell-list molecular dynamics (SPLASH-2)."""
+
+    metadata = AppMetadata(
+        name="water_spatial",
+        suite="splash2",
+        nominal_exec_time=28.0,
+        parallel_fraction=0.90,
+        dynrio_overhead=0.089,
+        profile=ResourceProfile(
+            llc_footprint_bytes=units.mb(26),
+            llc_intensity=0.62,
+            membw_per_core=units.gbytes_per_sec(5.5),
+        ),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {
+            "perforate_correction": LoopPerforation(
+                "perforate_correction", (0.60, 0.40, 0.25, 0.12)
+            ),
+            "precision": PrecisionReduction("precision", ("float32",)),
+        }
+
+    def run_kernel(
+        self,
+        settings: Mapping[str, Any],
+        counters: KernelCounters,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        keep_correction = settings["perforate_correction"]
+        dtype = PrecisionReduction.dtype(settings["precision"])
+        bytes_per_elem = PrecisionReduction.bytes_per_element(settings["precision"])
+
+        box = float(_CELLS)
+        pos = (rng.random((_N_ATOMS, 3)) * box).astype(dtype)
+        vel = rng.normal(0, 0.2, (_N_ATOMS, 3)).astype(dtype)
+        counters.note_footprint(2.0 * pos.size * bytes_per_elem + 8192.0)
+
+        # Fixed sample of far pairs for the long-range correction.
+        far_i = rng.integers(0, _N_ATOMS, size=_CORRECTION_PAIRS)
+        far_j = rng.integers(0, _N_ATOMS, size=_CORRECTION_PAIRS)
+        valid = far_i != far_j
+        far_i, far_j = far_i[valid], far_j[valid]
+        kept = perforated_indices(len(far_i), keep_correction)
+        i_k, j_k = far_i[kept], far_j[kept]
+
+        work_pos = pos.astype(np.float64)
+        work_vel = vel.astype(np.float64)
+        for _ in range(_STEPS):
+            accel = np.zeros_like(work_pos)
+            cell_of = np.floor(work_pos).clip(0, _CELLS - 1).astype(int)
+            cell_id = (
+                cell_of[:, 0] * _CELLS * _CELLS + cell_of[:, 1] * _CELLS + cell_of[:, 2]
+            )
+            # Short-range forces between atoms in the same cell: the dominant
+            # phase, not perforated.
+            for cell in np.unique(cell_id):
+                members = np.nonzero(cell_id == cell)[0]
+                if len(members) < 2:
+                    continue
+                p = work_pos[members]
+                diff = p[:, None, :] - p[None, :, :]
+                r2 = (diff**2).sum(axis=2) + 1e-2
+                magnitude = 0.5 / r2 - 0.3 / (r2**2)
+                np.fill_diagonal(magnitude, 0.0)
+                accel[members] += (diff * magnitude[..., None]).sum(axis=1)
+                pair_count = len(members) * (len(members) - 1) / 2
+                counters.add(
+                    work=_SHORT_WORK * pair_count,
+                    traffic=_SHORT_TRAFFIC * pair_count * (bytes_per_elem / 8.0),
+                )
+            # Long-range correction over the perforated far-pair sample.
+            diff = work_pos[i_k] - work_pos[j_k]
+            r2 = (diff**2).sum(axis=1) + 1.0
+            tail = diff / (r2**2)[:, None] * (0.6 / keep_correction)
+            np.add.at(accel, i_k, tail)
+            np.add.at(accel, j_k, -tail)
+            counters.add(
+                work=_CORRECTION_WORK * len(i_k),
+                traffic=_CORRECTION_TRAFFIC * len(i_k) * (bytes_per_elem / 8.0),
+            )
+            work_vel = (work_vel + accel * _DT) * 0.995
+            work_pos = work_pos + work_vel * _DT
+            work_pos = np.mod(work_pos, box)
+            work_pos = work_pos.astype(dtype).astype(np.float64)
+            work_vel = work_vel.astype(dtype).astype(np.float64)
+
+        return work_vel
+
+    def quality_loss(
+        self, precise_output: np.ndarray, approx_output: np.ndarray
+    ) -> float:
+        return rmse_pct(approx_output, precise_output)

@@ -1,0 +1,77 @@
+"""Colocation experiment builders.
+
+Convenience layer over :class:`repro.core.runtime.ColocationEngine`: build a
+service + N apps (ladders from the cached design-space exploration), attach
+a policy, run, and return the result.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.apps import make_app
+from repro.core.policy import PliantPolicy, RuntimePolicy
+from repro.core.runtime import ColocationConfig, ColocationEngine, ColocationResult
+from repro.exploration import DesignSpaceExplorer
+from repro.exploration.pareto import ApproxLadder
+from repro.services import make_service
+from repro.services.loadgen import LoadGenerator
+
+
+@lru_cache(maxsize=64)
+def ladder_for(app_name: str, seed: int = 0) -> ApproxLadder:
+    """The (cached) approximation ladder of one app."""
+    app = make_app(app_name)
+    return DesignSpaceExplorer(app, seed=seed).explore().ladder
+
+
+def build_engine(
+    service_name: str,
+    app_names: list[str] | tuple[str, ...],
+    policy: RuntimePolicy,
+    config: ColocationConfig | None = None,
+    loadgen: LoadGenerator | None = None,
+    exploration_seed: int = 0,
+) -> ColocationEngine:
+    """Assemble an engine for one colocation scenario."""
+    service = make_service(service_name)
+    apps = [
+        (make_app(name), ladder_for(name, seed=exploration_seed))
+        for name in app_names
+    ]
+    return ColocationEngine(
+        service=service,
+        apps=apps,
+        policy=policy,
+        config=config,
+        loadgen=loadgen,
+    )
+
+
+def run_colocation(
+    service_name: str,
+    app_names: list[str] | tuple[str, ...],
+    policy: RuntimePolicy | None = None,
+    config: ColocationConfig | None = None,
+    loadgen: LoadGenerator | None = None,
+) -> ColocationResult:
+    """Run one colocation under ``policy`` (Pliant by default)."""
+    chosen = policy or PliantPolicy(seed=(config.seed if config else 0))
+    engine = build_engine(
+        service_name, app_names, chosen, config=config, loadgen=loadgen
+    )
+    return engine.run()
+
+
+def compare_policies(
+    service_name: str,
+    app_names: list[str] | tuple[str, ...],
+    policies: list[RuntimePolicy],
+    config: ColocationConfig | None = None,
+) -> dict[str, ColocationResult]:
+    """Run the same scenario under several policies; key by policy name."""
+    results: dict[str, ColocationResult] = {}
+    for policy in policies:
+        engine = build_engine(service_name, app_names, policy, config=config)
+        results[policy.name] = engine.run()
+    return results

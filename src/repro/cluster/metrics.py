@@ -1,0 +1,97 @@
+"""Result aggregation: summaries and distribution statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.runtime import ColocationResult
+
+
+@dataclass(frozen=True)
+class ColocationSummary:
+    """One row of a Fig. 5-style comparison for a single app."""
+
+    service: str
+    app: str
+    precise_p99: float
+    pliant_p99: float
+    qos: float
+    relative_exec_time: float
+    inaccuracy_pct: float
+    dynrio_overhead: float
+    switches: int
+    max_cores_reclaimed: int
+
+    @property
+    def precise_ratio(self) -> float:
+        return self.precise_p99 / self.qos
+
+    @property
+    def pliant_ratio(self) -> float:
+        return self.pliant_p99 / self.qos
+
+    @property
+    def pliant_meets_qos(self) -> bool:
+        return self.pliant_p99 <= self.qos
+
+
+def summarize_pair(
+    precise: ColocationResult,
+    pliant: ColocationResult,
+    app_name: str,
+    dynrio_overhead: float,
+) -> ColocationSummary:
+    """Fold a (precise, pliant) result pair into a Fig. 5 row."""
+    precise_outcome = precise.app_outcome(app_name)
+    pliant_outcome = pliant.app_outcome(app_name)
+    if precise_outcome.finish_time and pliant_outcome.finish_time:
+        relative = pliant_outcome.finish_time / precise_outcome.finish_time
+    else:
+        relative = float("nan")
+    return ColocationSummary(
+        service=precise.service_name,
+        app=app_name,
+        precise_p99=precise.aggregate_p99,
+        pliant_p99=pliant.aggregate_p99,
+        qos=precise.qos,
+        relative_exec_time=relative,
+        inaccuracy_pct=pliant_outcome.inaccuracy_pct,
+        dynrio_overhead=dynrio_overhead,
+        switches=pliant_outcome.switches,
+        max_cores_reclaimed=pliant.max_cores_reclaimed(),
+    )
+
+
+@dataclass(frozen=True)
+class ViolinStats:
+    """Five-number-plus-mean summary of a metric distribution (Fig. 7)."""
+
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values) -> "ViolinStats":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            nan = float("nan")
+            return cls(nan, nan, nan, nan, nan, nan, 0)
+        return cls(
+            minimum=float(arr.min()),
+            p25=float(np.percentile(arr, 25)),
+            median=float(np.percentile(arr, 50)),
+            p75=float(np.percentile(arr, 75)),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+            count=int(arr.size),
+        )
+
+    def spread(self) -> float:
+        """Max - min; the paper's violin 'limits'."""
+        return self.maximum - self.minimum

@@ -1,0 +1,148 @@
+"""Placement advisor: Pliant outcomes as a cluster-scheduler signal.
+
+Section 6 closes with: "This information can be incorporated in the cluster
+scheduler when deciding which applications to place on the same physical
+node."  This module implements that extension: a static *compatibility
+model* predicts, from an app's ladder and a service's sensitivity, how deep
+Pliant will have to escalate — and a greedy scheduler uses the prediction
+to assign approximate apps across a set of nodes so total escalation (and
+therefore quality loss and core churn) is minimized.
+
+The prediction is analytic (no simulation): it evaluates the service's
+inflation at the app's precise and most-decontended admissible variants and
+converts the residual into an escalation-depth estimate, mirroring the
+static calibration the runtime itself is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exploration.pareto import ApproxLadder
+from repro.server.node import ServerNode
+from repro.server.platform import Platform, default_platform
+from repro.server.resources import ResourceProfile
+from repro.server.tenant import Tenant, TenantKind
+from repro.services.base import InteractiveService
+
+
+@dataclass(frozen=True)
+class PlacementPrediction:
+    """Predicted Pliant behavior for one (service, app) colocation."""
+
+    app_name: str
+    service_name: str
+    precise_ratio: float
+    best_approx_ratio: float
+    predicted_cores: int
+
+    @property
+    def approx_alone_suffices(self) -> bool:
+        return self.predicted_cores == 0
+
+    @property
+    def compatibility(self) -> float:
+        """Higher is better; used to rank candidate placements."""
+        return -(self.predicted_cores + max(0.0, self.best_approx_ratio - 1.0))
+
+
+class PlacementAdvisor:
+    """Predicts escalation depth and advises app-to-node placement."""
+
+    def __init__(self, platform: Platform | None = None) -> None:
+        self._platform = platform or default_platform()
+
+    # -- single-pair prediction ---------------------------------------------
+
+    def predict(
+        self,
+        service: InteractiveService,
+        app_profile: ResourceProfile,
+        ladder: ApproxLadder,
+        load_fraction: float = 0.775,
+        app_cores: int = 8,
+        service_cores: int = 8,
+    ) -> PlacementPrediction:
+        """Analytic escalation estimate for one colocation."""
+        qps = load_fraction * service.saturation_qps(service_cores)
+
+        def ratio(profile: ResourceProfile, svc_cores: int, a_cores: int) -> float:
+            node = ServerNode(self._platform)
+            node.add_tenant(
+                Tenant(
+                    service.name,
+                    TenantKind.INTERACTIVE,
+                    service.profile(qps, svc_cores),
+                    svc_cores,
+                )
+            )
+            node.add_tenant(
+                Tenant("app", TenantKind.APPROXIMATE, profile, a_cores)
+            )
+            pressure = node.pressure_on(service.name)
+            return service.p99_at(qps, svc_cores, pressure) / service.qos
+
+        precise_ratio = ratio(app_profile, service_cores, app_cores)
+        # The most contention-relieving admissible variant.
+        best_variant = min(
+            (ladder.variant(level) for level in range(ladder.max_level + 1)),
+            key=lambda v: v.traffic_rate_factor,
+        )
+        best_profile = best_variant.scaled_profile(app_profile)
+        best_ratio = ratio(best_profile, service_cores, app_cores)
+
+        cores = 0
+        while best_ratio > 1.0 and cores < app_cores - 1:
+            cores += 1
+            best_ratio_candidate = ratio(
+                best_profile, service_cores + cores, app_cores - cores
+            )
+            if best_ratio_candidate <= best_ratio:
+                best_ratio = best_ratio_candidate
+            else:
+                break
+        return PlacementPrediction(
+            app_name=ladder.app_name,
+            service_name=service.name,
+            precise_ratio=precise_ratio,
+            best_approx_ratio=ratio(best_profile, service_cores, app_cores),
+            predicted_cores=cores,
+        )
+
+    # -- fleet placement ------------------------------------------------------
+
+    def assign(
+        self,
+        services: list[InteractiveService],
+        apps: list[tuple[ResourceProfile, ApproxLadder]],
+        load_fraction: float = 0.775,
+    ) -> dict[str, list[str]]:
+        """Greedily place each app on the node whose service tolerates it
+        best, balancing app counts across nodes.
+
+        Returns service name -> list of app names.  ``len(apps)`` may exceed
+        ``len(services)``; nodes receive at most ``ceil(n_apps/n_nodes)``.
+        """
+        if not services:
+            raise ValueError("need at least one service node")
+        capacity = -(-len(apps) // len(services))  # ceil division
+        assignment: dict[str, list[str]] = {svc.name: [] for svc in services}
+        # Hardest-to-place apps first: worst average compatibility.
+        scored = []
+        for profile, ladder in apps:
+            predictions = {
+                svc.name: self.predict(svc, profile, ladder, load_fraction)
+                for svc in services
+            }
+            average = sum(p.compatibility for p in predictions.values()) / len(
+                predictions
+            )
+            scored.append((average, ladder.app_name, predictions))
+        scored.sort(key=lambda item: item[0])
+        for _, app_name, predictions in scored:
+            open_nodes = [
+                name for name, placed in assignment.items() if len(placed) < capacity
+            ]
+            best = max(open_nodes, key=lambda name: predictions[name].compatibility)
+            assignment[best].append(app_name)
+        return assignment

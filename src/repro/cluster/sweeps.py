@@ -1,0 +1,140 @@
+"""Parameter sweeps and mix enumeration for the evaluation figures."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.policy import PliantPolicy, RuntimePolicy
+from repro.core.runtime import ColocationConfig, ColocationResult
+from repro.cluster.colocation import build_engine
+from repro.rng import child_generator
+from repro.services import make_service
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep coordinate and its result."""
+
+    value: float
+    result: ColocationResult
+
+
+def load_sweep(
+    service_name: str,
+    app_names: tuple[str, ...],
+    load_fractions: tuple[float, ...] = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    policy_factory=None,
+    base_config: ColocationConfig | None = None,
+) -> list[SweepPoint]:
+    """Fig. 8: sweep offered load as a fraction of saturation."""
+    base = base_config or ColocationConfig()
+    points = []
+    for load in load_fractions:
+        config = ColocationConfig(
+            load_fraction=load,
+            decision_interval=base.decision_interval,
+            monitor_epoch=base.monitor_epoch,
+            slack_threshold=base.slack_threshold,
+            horizon=base.horizon,
+            seed=base.seed,
+            stop_when_apps_done=base.stop_when_apps_done,
+        )
+        policy = (
+            policy_factory() if policy_factory else PliantPolicy(seed=base.seed)
+        )
+        engine = build_engine(service_name, app_names, policy, config=config)
+        points.append(SweepPoint(value=load, result=engine.run()))
+    return points
+
+
+def interval_sweep(
+    service_name: str,
+    app_names: tuple[str, ...],
+    intervals: tuple[float, ...] = (0.2, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0),
+    base_config: ColocationConfig | None = None,
+) -> list[SweepPoint]:
+    """Fig. 9: sweep Pliant's decision interval."""
+    base = base_config or ColocationConfig()
+    points = []
+    for interval in intervals:
+        config = ColocationConfig(
+            load_fraction=base.load_fraction,
+            decision_interval=interval,
+            monitor_epoch=base.monitor_epoch,
+            slack_threshold=base.slack_threshold,
+            horizon=base.horizon,
+            seed=base.seed,
+            stop_when_apps_done=base.stop_when_apps_done,
+        )
+        engine = build_engine(
+            service_name, app_names, PliantPolicy(seed=base.seed), config=config
+        )
+        points.append(SweepPoint(value=interval, result=engine.run()))
+    return points
+
+
+def combination_mixes(
+    app_names: tuple[str, ...],
+    k: int,
+    sample: int | None = None,
+    seed: int = 0,
+) -> list[tuple[str, ...]]:
+    """All k-way app mixes, optionally subsampled deterministically.
+
+    The paper examines every 2- and 3-way combination of the 24 apps;
+    ``sample`` bounds the cost for routine runs (the full set stays
+    available by passing ``None``).
+    """
+    mixes = list(itertools.combinations(app_names, k))
+    if sample is None or sample >= len(mixes):
+        return mixes
+    rng = child_generator(seed, f"mixes/{k}")
+    chosen = rng.choice(len(mixes), size=sample, replace=False)
+    return [mixes[i] for i in sorted(chosen)]
+
+
+@dataclass(frozen=True)
+class OutcomeBreakdown:
+    """Fig. 10: how far Pliant had to escalate per colocation."""
+
+    approx_only: int = 0
+    one_core: int = 0
+    two_cores: int = 0
+    three_cores: int = 0
+    four_plus_cores: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.approx_only
+            + self.one_core
+            + self.two_cores
+            + self.three_cores
+            + self.four_plus_cores
+        )
+
+    def fractions(self) -> dict[str, float]:
+        total = max(self.total, 1)
+        return {
+            "approx_only": self.approx_only / total,
+            "1_core": self.one_core / total,
+            "2_cores": self.two_cores / total,
+            "3_cores": self.three_cores / total,
+            "4+_cores": self.four_plus_cores / total,
+        }
+
+
+def breakdown_outcomes(results: list[ColocationResult]) -> OutcomeBreakdown:
+    """Classify runs by the escalation Pliant needed in steady state."""
+    counts = [0, 0, 0, 0, 0]
+    for result in results:
+        bucket = min(result.sustained_cores_reclaimed(), 4)
+        counts[bucket] += 1
+    return OutcomeBreakdown(
+        approx_only=counts[0],
+        one_core=counts[1],
+        two_cores=counts[2],
+        three_cores=counts[3],
+        four_plus_cores=counts[4],
+    )

@@ -1,0 +1,83 @@
+"""Project-wide configuration: the experimental platform (paper Table 1),
+QoS targets, and runtime defaults.
+
+The platform numbers mirror the paper's dual-socket Intel Xeon E5-2699 v4
+server.  As in the paper's methodology (Section 5), experiments use a single
+socket: 22 physical cores, of which 6 are reserved for network interrupts and
+the remaining 16 are shared fairly among the co-scheduled tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Hardware parameters of the simulated server (paper Table 1)."""
+
+    model: str = "Intel Xeon E5-2699 v4 (simulated)"
+    sockets: int = 2
+    cores_per_socket: int = 22
+    threads_per_core: int = 2
+    base_frequency_ghz: float = 2.2
+    max_turbo_frequency_ghz: float = 3.6
+    l1i_kb: int = 32
+    l1d_kb: int = 32
+    l2_kb: int = 256
+    llc_bytes: float = units.mb(55)
+    llc_ways: int = 20
+    memory_bytes: float = units.gb(128)
+    memory_channels: int = 8
+    memory_speed_mhz: int = 2400
+    # 8 channels x 2400 MT/s x 8 B = 153.6 GB/s across both sockets;
+    # one socket sees half of that.
+    memory_bandwidth_bytes: float = units.gbytes_per_sec(76.8)
+    disk_desc: str = "1TB 7200RPM HDD"
+    disk_bandwidth_bytes: float = units.gbytes_per_sec(0.16)
+    network_bandwidth_bytes: float = units.gbps(10)
+    irq_cores: int = 6
+
+    @property
+    def total_physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def usable_cores_per_socket(self) -> int:
+        """Cores available to tenants on one socket after irq reservation."""
+        return self.cores_per_socket - self.irq_cores
+
+
+@dataclass(frozen=True)
+class QosTargets:
+    """Tail-latency (99th percentile) QoS targets from Section 5."""
+
+    nginx: float = units.msec(10)
+    memcached: float = units.usec(200)
+    mongodb: float = units.msec(100)
+
+
+@dataclass(frozen=True)
+class RuntimeDefaults:
+    """Pliant runtime defaults (Section 4.3)."""
+
+    decision_interval: float = 1.0
+    monitor_epoch: float = 0.1
+    slack_threshold: float = 0.10
+    max_inaccuracy_pct: float = 5.0
+    load_fraction: float = 0.775  # "75-80% of saturation"
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Bundle of all experiment-independent configuration."""
+
+    platform: PlatformSpec = field(default_factory=PlatformSpec)
+    qos: QosTargets = field(default_factory=QosTargets)
+    runtime: RuntimeDefaults = field(default_factory=RuntimeDefaults)
+    seed: int = 0x517A
+
+
+DEFAULT_CONFIG = ReproConfig()

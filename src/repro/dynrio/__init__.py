@@ -1,0 +1,24 @@
+"""DynamoRIO-analog dynamic instrumentation substrate (paper Section 4.2).
+
+The real Pliant runs each approximate application under DynamoRIO: all
+variant implementations are aggregated into one "fat" binary, each variant
+is mapped to a Linux signal, and on receiving a signal DynamoRIO's
+``drwrap_replace()`` swaps the function pointers.  This package implements
+the same mechanics for Python kernels: a fat binary
+(:mod:`repro.dynrio.binary`), a signal bus (:mod:`repro.dynrio.signals`),
+a function-table instrumentor (:mod:`repro.dynrio.instrument`) and the
+calibrated overhead model (:mod:`repro.dynrio.overhead`).
+"""
+
+from repro.dynrio.binary import FatBinary
+from repro.dynrio.instrument import Instrumentor
+from repro.dynrio.overhead import OverheadModel
+from repro.dynrio.signals import SIGNAL_BASE, SignalBus
+
+__all__ = [
+    "FatBinary",
+    "Instrumentor",
+    "OverheadModel",
+    "SIGNAL_BASE",
+    "SignalBus",
+]

@@ -1,0 +1,72 @@
+"""Fat binary: all variant implementations aggregated together.
+
+Pliant compiles every selected approximate version of each perforated
+function into one binary alongside the precise version, so switching is a
+pointer swap rather than a recompilation.  The analog here maps each ladder
+level to the fully materialized knob settings of its variant — the
+"function addresses" DynamoRIO reads at startup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.apps.base import ApproximableApp
+from repro.exploration.pareto import ApproxLadder
+
+
+@dataclass(frozen=True)
+class _LevelEntry:
+    level: int
+    settings: Mapping[str, Any]
+    inaccuracy_pct: float
+    time_factor: float
+
+
+class FatBinary:
+    """The aggregated precise+approximate build of one application."""
+
+    def __init__(self, app: ApproximableApp, ladder: ApproxLadder) -> None:
+        if ladder.app_name != app.name:
+            raise ValueError(
+                f"ladder for {ladder.app_name!r} does not match app {app.name!r}"
+            )
+        self._app = app
+        self._ladder = ladder
+        self._entries = [
+            _LevelEntry(
+                level=level,
+                settings=dict(app.materialize(ladder.variant(level).spec)),
+                inaccuracy_pct=ladder.variant(level).inaccuracy_pct,
+                time_factor=ladder.variant(level).time_factor,
+            )
+            for level in range(ladder.max_level + 1)
+        ]
+
+    @property
+    def app(self) -> ApproximableApp:
+        return self._app
+
+    @property
+    def ladder(self) -> ApproxLadder:
+        return self._ladder
+
+    @property
+    def level_count(self) -> int:
+        return len(self._entries)
+
+    def settings_for(self, level: int) -> Mapping[str, Any]:
+        """The knob settings (function-pointer table) of ``level``."""
+        return dict(self._entries[level].settings)
+
+    def describe(self) -> str:
+        lines = [f"fat binary for {self._app.name}:"]
+        for entry in self._entries:
+            tag = "precise" if entry.level == 0 else f"approx v{entry.level}"
+            lines.append(
+                f"  level {entry.level} ({tag}): "
+                f"inaccuracy={entry.inaccuracy_pct:.2f}% "
+                f"time={entry.time_factor:.2f}x"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Instrumentor: the drwrap_replace() analog.
+
+Wraps one application process: registers a signal per ladder level, swaps
+the active function table when the mapped signal arrives, and counts
+switches.  ``run_active_level`` executes the *real* kernel under the active
+table — the same code path the design-space exploration measured — so a
+colocation demo can produce genuine outputs mid-flight.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import KernelRun, VariantSpec
+from repro.dynrio.binary import FatBinary
+from repro.dynrio.signals import SIGNAL_BASE, SignalBus
+
+
+class Instrumentor:
+    """One instrumented approximate-application process."""
+
+    def __init__(self, binary: FatBinary, bus: SignalBus, process: str | None = None) -> None:
+        self._binary = binary
+        self._bus = bus
+        self._process = process or binary.app.name
+        self._active_level = 0
+        self._switches = 0
+        self._level_log: list[int] = [0]
+        for level in range(binary.level_count):
+            self._bus.register(
+                self._process, SIGNAL_BASE + level, self._make_handler(level)
+            )
+
+    def _make_handler(self, level: int):
+        def handler() -> None:
+            if level != self._active_level:
+                self._switches += 1
+                self._active_level = level
+                self._level_log.append(level)
+
+        return handler
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def process(self) -> str:
+        return self._process
+
+    @property
+    def active_level(self) -> int:
+        return self._active_level
+
+    @property
+    def switches(self) -> int:
+        return self._switches
+
+    @property
+    def level_log(self) -> list[int]:
+        return list(self._level_log)
+
+    def signal_for_level(self, level: int) -> int:
+        if not 0 <= level < self._binary.level_count:
+            raise IndexError(
+                f"level {level} outside [0, {self._binary.level_count - 1}]"
+            )
+        return SIGNAL_BASE + level
+
+    # -- execution ------------------------------------------------------------
+
+    def request_level(self, level: int) -> None:
+        """Send the mapped signal (what the Pliant actuator does)."""
+        self._bus.send(self._process, self.signal_for_level(level))
+
+    def run_active_level(self, seed: int = 0) -> KernelRun:
+        """Execute the real kernel under the active function table."""
+        settings = self._binary.settings_for(self._active_level)
+        app = self._binary.app
+        spec = VariantSpec(
+            {
+                name: value
+                for name, value in settings.items()
+                if value != app.knobs()[name].precise_value
+            }
+        )
+        return app.run(spec, seed=seed)

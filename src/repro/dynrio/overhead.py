@@ -1,0 +1,34 @@
+"""Instrumentation overhead model.
+
+Running under DynamoRIO costs the paper's applications 3.8 % execution time
+on average and up to 8.9 % (water_spatial), because Pliant only uses
+coarse-grained function replacement.  Switching variants additionally costs
+a brief pause while ``drwrap_replace`` retargets the function table.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppMetadata
+
+#: Pause per variant switch (seconds).  Coarse-grained replacement makes
+#: this tiny; it exists so pathological ping-ponging has a price.
+SWITCH_PAUSE = 0.02
+
+
+class OverheadModel:
+    """Overheads of executing an app under the instrumentation tool."""
+
+    def __init__(self, switch_pause: float = SWITCH_PAUSE) -> None:
+        if switch_pause < 0:
+            raise ValueError("switch_pause must be non-negative")
+        self._switch_pause = switch_pause
+
+    def instrumentation_factor(self, metadata: AppMetadata) -> float:
+        """Multiplicative execution-time factor (>= 1) while instrumented."""
+        return 1.0 + metadata.dynrio_overhead
+
+    def switch_pause(self, switches: int = 1) -> float:
+        """Total pause time for ``switches`` variant switches."""
+        if switches < 0:
+            raise ValueError("switches must be non-negative")
+        return self._switch_pause * switches

@@ -1,0 +1,50 @@
+"""Signal bus: the Linux-signal switching channel.
+
+Pliant maps every approximate variant to a unique signal; the actuator
+sends the signal, DynamoRIO traps it, and the handler swaps the active
+variant.  The bus here reproduces that rendezvous: handlers register per
+(process, signal), senders deliver, delivery is synchronous and ordered.
+Signal numbers start at ``SIGNAL_BASE`` (SIGRTMIN-like real-time range).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+#: First signal number handed out (mirrors Linux SIGRTMIN = 34).
+SIGNAL_BASE = 34
+
+
+class SignalBus:
+    """Synchronous signal delivery between the actuator and instrumentors."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, dict[int, Callable[[], None]]] = defaultdict(dict)
+        self._delivered: list[tuple[str, int]] = []
+
+    def register(
+        self, process: str, signal: int, handler: Callable[[], None]
+    ) -> None:
+        """Trap ``signal`` for ``process`` (drsignal-style registration)."""
+        if signal < SIGNAL_BASE:
+            raise ValueError(
+                f"signal {signal} below the real-time range ({SIGNAL_BASE}+)"
+            )
+        self._handlers[process][signal] = handler
+
+    def send(self, process: str, signal: int) -> None:
+        """Deliver ``signal`` to ``process``; unhandled signals are an error
+        (an unhandled real-time signal would kill the real process)."""
+        handler = self._handlers.get(process, {}).get(signal)
+        if handler is None:
+            raise LookupError(f"process {process!r} does not trap signal {signal}")
+        self._delivered.append((process, signal))
+        handler()
+
+    @property
+    def delivery_log(self) -> list[tuple[str, int]]:
+        return list(self._delivered)
+
+    def signals_for(self, process: str) -> list[int]:
+        return sorted(self._handlers.get(process, {}))

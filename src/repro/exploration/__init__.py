@@ -1,0 +1,23 @@
+"""Design-space exploration (paper Section 3).
+
+Enumerates each app's approximate variants from its knob grid (the
+ACCEPT-hints path) or from profiler-ranked sites (the gprof path), measures
+quality/time/contention for every variant against precise execution, prunes
+to the points near the pareto frontier within the tolerable inaccuracy, and
+produces the ordered :class:`~repro.exploration.pareto.ApproxLadder` the
+Pliant runtime climbs at runtime.
+"""
+
+from repro.exploration.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.exploration.pareto import ApproxLadder, pareto_select
+from repro.exploration.profiler import WorkProfiler
+from repro.exploration.space import enumerate_variants
+
+__all__ = [
+    "ApproxLadder",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "WorkProfiler",
+    "enumerate_variants",
+    "pareto_select",
+]

@@ -1,0 +1,23 @@
+"""Shared-server substrate.
+
+Models the paper's experimental platform: a socket's worth of cores shared
+by one interactive service and one or more approximate applications, with
+contention in the last-level cache and memory bandwidth
+(:mod:`repro.server.interference`).
+"""
+
+from repro.server.interference import InterferenceModel, PressureBreakdown
+from repro.server.node import ServerNode
+from repro.server.platform import Platform
+from repro.server.resources import ResourceProfile
+from repro.server.tenant import Tenant, TenantKind
+
+__all__ = [
+    "InterferenceModel",
+    "Platform",
+    "PressureBreakdown",
+    "ResourceProfile",
+    "ServerNode",
+    "Tenant",
+    "TenantKind",
+]

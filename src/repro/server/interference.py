@@ -1,0 +1,141 @@
+"""Shared-resource contention model.
+
+Combines the resource profiles of all tenants on a node into *pressure*
+values for each shared resource; interactive services convert pressures into
+service-time inflation through per-service sensitivities
+(:class:`repro.services.base.InterferenceSensitivity`), and approximate
+applications into a slowdown of their own progress.
+
+Modeling choices
+----------------
+LLC: aggressors pollute the victim's cache at a rate proportional to their
+footprint x access intensity relative to the LLC size (a linearized
+proportional-occupancy model).  The victim's own access intensity weighs how
+much it cares.  Pollution scales sublinearly with the aggressor's core count
+(more cores touch the working set faster, with diminishing overlap).
+
+Memory bandwidth: two components.  A *linear* term — the aggressors' share
+of bus utilization — captures the steady rise of memory access latency with
+bus load; a *quadratic overload* term kicks in when total utilization passes
+a knee, capturing memory-controller queueing near saturation.  The quadratic
+term is what makes small traffic reductions from approximation so effective
+when the bus is nearly saturated.
+
+Disk / network: same linear + overload shape on the respective capacities.
+
+Pressures are *marginal*: the victim's own contribution is subtracted,
+because each service's latency curve is calibrated against isolation runs.
+Core contention is absent by construction — tenants are pinned to disjoint
+physical cores, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.server.platform import Platform
+from repro.server.resources import ResourceProfile
+
+#: Reference core count for LLC pollution-rate scaling (the nominal fair
+#: share of one tenant in the paper's single-app colocations).
+_REFERENCE_CORES = 8
+
+#: Bus utilization where overload queueing starts.
+_OVERLOAD_KNEE = 0.60
+
+
+@dataclass(frozen=True)
+class PressureBreakdown:
+    """Per-resource marginal contention pressure felt by one tenant."""
+
+    llc: float = 0.0
+    membw_linear: float = 0.0
+    membw_overload: float = 0.0
+    disk: float = 0.0
+    network: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.llc
+            + self.membw_linear
+            + self.membw_overload
+            + self.disk
+            + self.network
+        )
+
+
+def _overload(utilization: float, knee: float = _OVERLOAD_KNEE) -> float:
+    """Quadratic queueing pressure above the ``knee`` utilization."""
+    if utilization <= knee:
+        return 0.0
+    return ((utilization - knee) / (1.0 - knee)) ** 2
+
+
+class InterferenceModel:
+    """Computes contention pressures for tenants sharing a platform."""
+
+    def __init__(self, platform: Platform) -> None:
+        self._platform = platform
+
+    def llc_pollution(self, aggressors: list[tuple[ResourceProfile, int]]) -> float:
+        """Aggregate cache-pollution rate of ``aggressors`` (fraction of LLC)."""
+        llc = self._platform.llc_bytes
+        if llc <= 0:
+            return 0.0
+        demand = 0.0
+        for profile, cores in aggressors:
+            if cores <= 0:
+                continue
+            rate_scale = math.sqrt(cores / _REFERENCE_CORES)
+            demand += profile.llc_footprint_bytes * profile.llc_intensity * rate_scale
+        return min(1.5, demand / llc)
+
+    def pressure_on(
+        self,
+        victim: ResourceProfile,
+        victim_cores: int,
+        aggressors: list[tuple[ResourceProfile, int]],
+    ) -> PressureBreakdown:
+        """Marginal pressure the ``aggressors`` exert on ``victim``."""
+        llc = self.llc_pollution(aggressors) * victim.llc_intensity
+
+        capacity = self._platform.memory_bandwidth
+        own_bw = victim.total_membw(victim_cores)
+        aggressor_bw = sum(p.total_membw(c) for p, c in aggressors if c > 0)
+        total_util = (own_bw + aggressor_bw) / capacity if capacity > 0 else 0.0
+        own_util = own_bw / capacity if capacity > 0 else 0.0
+        membw_linear = max(0.0, total_util - own_util)
+        membw_overload = max(0.0, _overload(total_util) - _overload(own_util))
+
+        disk = self._bw_pressure(
+            victim.disk_bw,
+            sum(p.disk_bw for p, c in aggressors if c > 0),
+            self._platform.disk_bandwidth,
+        )
+        network = self._bw_pressure(
+            victim.network_bw,
+            sum(p.network_bw for p, c in aggressors if c > 0),
+            self._platform.network_bandwidth,
+        )
+        return PressureBreakdown(
+            llc=llc,
+            membw_linear=membw_linear,
+            membw_overload=membw_overload,
+            disk=disk,
+            network=network,
+        )
+
+    @staticmethod
+    def _bw_pressure(
+        victim_demand: float, aggressor_demand: float, capacity: float
+    ) -> float:
+        """Linear + overload pressure on a simple shared-bandwidth resource."""
+        if capacity <= 0:
+            return 0.0
+        own = victim_demand / capacity
+        total = (victim_demand + aggressor_demand) / capacity
+        linear = max(0.0, total - own)
+        overload = max(0.0, _overload(total) - _overload(own))
+        return linear + overload

@@ -1,0 +1,63 @@
+"""Platform model: the physical server the colocations run on.
+
+Follows the paper's methodology (Section 5): a single socket hosts all
+tenants, a fixed number of cores is dedicated to network interrupt handling,
+and the remaining cores are partitioned among tenants via pinning.  Tenants
+on the same socket share the LLC, memory bandwidth, disk and NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PlatformSpec
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Usable view of one socket of the :class:`~repro.config.PlatformSpec`."""
+
+    spec: PlatformSpec
+
+    @property
+    def allocatable_cores(self) -> int:
+        """Cores available for tenant pinning on the active socket."""
+        return self.spec.usable_cores_per_socket
+
+    @property
+    def llc_bytes(self) -> float:
+        return self.spec.llc_bytes
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """Memory bandwidth (bytes/s) visible to the active socket."""
+        return self.spec.memory_bandwidth_bytes
+
+    @property
+    def disk_bandwidth(self) -> float:
+        return self.spec.disk_bandwidth_bytes
+
+    @property
+    def network_bandwidth(self) -> float:
+        return self.spec.network_bandwidth_bytes
+
+    def fair_share(self, tenants: int) -> list[int]:
+        """Split allocatable cores fairly among ``tenants``.
+
+        The first tenants receive the remainder cores, matching how a fair
+        cpuset split is done in practice (e.g. 16 cores over 3 tenants ->
+        [6, 5, 5]).
+        """
+        if tenants <= 0:
+            raise ValueError("tenants must be positive")
+        if tenants > self.allocatable_cores:
+            raise ValueError(
+                f"cannot split {self.allocatable_cores} cores over {tenants} tenants"
+            )
+        base, remainder = divmod(self.allocatable_cores, tenants)
+        return [base + (1 if index < remainder else 0) for index in range(tenants)]
+
+
+def default_platform() -> Platform:
+    """The paper's server (Table 1)."""
+    return Platform(spec=PlatformSpec())

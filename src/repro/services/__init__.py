@@ -1,0 +1,58 @@
+"""Latency-critical interactive services.
+
+Each service (NGINX, memcached, MongoDB) is modeled as a calibrated
+p99-latency surface over (load, cores, interference pressure) — the same
+observable the paper's client-side monitor samples — plus a resource profile
+describing the contention the service itself generates.
+"""
+
+from repro.services.base import (
+    BacklogTracker,
+    InteractiveService,
+    InterferenceSensitivity,
+)
+from repro.services.latency import LatencyCurve, LatencyCurveParams
+from repro.services.loadgen import (
+    ConstantLoad,
+    DiurnalLoad,
+    LoadGenerator,
+    StepLoad,
+)
+from repro.services.memcached import Memcached
+from repro.services.mongodb import MongoDB
+from repro.services.nginx import Nginx
+
+SERVICE_FACTORIES = {
+    "nginx": Nginx,
+    "memcached": Memcached,
+    "mongodb": MongoDB,
+}
+
+
+def make_service(name: str) -> InteractiveService:
+    """Instantiate one of the three paper services by name."""
+    try:
+        factory = SERVICE_FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown service {name!r}; expected one of {sorted(SERVICE_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+__all__ = [
+    "BacklogTracker",
+    "ConstantLoad",
+    "DiurnalLoad",
+    "InteractiveService",
+    "InterferenceSensitivity",
+    "LatencyCurve",
+    "LatencyCurveParams",
+    "LoadGenerator",
+    "Memcached",
+    "MongoDB",
+    "Nginx",
+    "SERVICE_FACTORIES",
+    "StepLoad",
+    "make_service",
+]

@@ -1,0 +1,112 @@
+"""Open-loop workload generators.
+
+The paper drives every service with open-loop clients at a configurable
+fraction of saturation (default 75-80 %).  A generator maps simulation time
+to offered QPS; the runtime samples it once per monitor epoch.  Loads are
+expressed as a fraction of the service's saturation at its *nominal* core
+count, so reclaiming cores does not silently change the offered load.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+class LoadGenerator(ABC):
+    """Offered load as a function of time."""
+
+    @abstractmethod
+    def qps_at(self, time: float) -> float:
+        """Offered queries/second at simulation time ``time``."""
+
+    def mean_qps(self, horizon: float, resolution: float = 0.1) -> float:
+        """Average offered load over ``[0, horizon]`` (numeric, for tests)."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        steps = max(1, int(horizon / resolution))
+        total = sum(self.qps_at(i * horizon / steps) for i in range(steps))
+        return total / steps
+
+
+@dataclass(frozen=True)
+class ConstantLoad(LoadGenerator):
+    """Fixed offered load."""
+
+    qps: float
+
+    def __post_init__(self) -> None:
+        if self.qps < 0:
+            raise ValueError("qps must be non-negative")
+
+    def qps_at(self, time: float) -> float:
+        return self.qps
+
+
+@dataclass(frozen=True)
+class StepLoad(LoadGenerator):
+    """Piecewise-constant load: ``steps`` is a list of (start_time, qps)."""
+
+    steps: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("steps must be non-empty")
+        times = [t for t, _ in self.steps]
+        if times != sorted(times):
+            raise ValueError("step times must be non-decreasing")
+        if any(q < 0 for _, q in self.steps):
+            raise ValueError("qps values must be non-negative")
+
+    def qps_at(self, time: float) -> float:
+        current = 0.0
+        for start, qps in self.steps:
+            if time >= start:
+                current = qps
+            else:
+                break
+        return current
+
+
+@dataclass(frozen=True)
+class DiurnalLoad(LoadGenerator):
+    """Sinusoidal load between ``low_qps`` and ``high_qps`` over ``period``."""
+
+    low_qps: float
+    high_qps: float
+    period: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.low_qps < 0 or self.high_qps < self.low_qps:
+            raise ValueError("need 0 <= low_qps <= high_qps")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def qps_at(self, time: float) -> float:
+        midpoint = (self.high_qps + self.low_qps) / 2.0
+        amplitude = (self.high_qps - self.low_qps) / 2.0
+        return midpoint + amplitude * math.sin(
+            2.0 * math.pi * (time / self.period) + self.phase
+        )
+
+
+@dataclass(frozen=True)
+class BurstyLoad(LoadGenerator):
+    """Base load with periodic square bursts (models flash crowds)."""
+
+    base_qps: float
+    burst_qps: float
+    burst_period: float
+    burst_duration: float
+
+    def __post_init__(self) -> None:
+        if self.base_qps < 0 or self.burst_qps < self.base_qps:
+            raise ValueError("need 0 <= base_qps <= burst_qps")
+        if not 0 < self.burst_duration <= self.burst_period:
+            raise ValueError("need 0 < burst_duration <= burst_period")
+
+    def qps_at(self, time: float) -> float:
+        position = time % self.burst_period
+        return self.burst_qps if position < self.burst_duration else self.base_qps

@@ -1,0 +1,71 @@
+"""memcached in-memory key-value store model.
+
+Paper configuration (Section 5): 5 million items, 30 B keys / 200 B values,
+QoS = 200 us p99.  Fig. 8 sweeps 300K-600K QPS and precise-only mode meets
+QoS up to 280K QPS = 46 % of load, putting saturation near 610K QPS at the
+nominal 8-core allocation.
+
+memcached is the most interference-sensitive of the three services: its
+service times are a few tens of microseconds, so every extra cache miss and
+every bit of memory-controller queueing lands directly on the tail.  The
+paper finds it almost always needs at least one reclaimed core in addition
+to approximation.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.server.resources import ResourceProfile
+from repro.services.base import InteractiveService, InterferenceSensitivity
+from repro.services.latency import LatencyCurve, LatencyCurveParams
+
+#: Saturation throughput at the nominal 8-core allocation.
+SATURATION_QPS = 610_000.0
+
+#: Effective memory bytes touched per operation (item + hash probe + stack).
+_BYTES_PER_OP = 2 * units.KB
+
+#: Wire bytes per response (230 B item + protocol overhead).
+_WIRE_BYTES_PER_OP = 0.4 * units.KB
+
+
+class Memcached(InteractiveService):
+    """In-memory object cache with microsecond-scale service times."""
+
+    name = "memcached"
+
+    def __init__(self) -> None:
+        super().__init__(
+            qos=units.usec(200),
+            curve=LatencyCurve(
+                LatencyCurveParams(
+                    base_p99=units.usec(70),
+                    qos=units.usec(200),
+                    noise_sigma=0.08,
+                    max_utilization=0.973,
+                )
+            ),
+            sensitivity=InterferenceSensitivity(
+                llc=0.20,
+                membw_linear=0.09,
+                membw_overload=0.04,
+                network=0.05,
+                colocation_floor=0.155,
+                presence_ref=0.055,
+                max_inflation=1.26,
+            ),
+            saturation_qps_nominal=SATURATION_QPS,
+            nominal_cores=8,
+            core_scaling_fraction=0.90,
+        )
+
+    def profile(self, qps: float, cores: int) -> ResourceProfile:
+        load_fraction = qps / self.saturation_qps(max(cores, 1))
+        return ResourceProfile(
+            cpu_fraction=min(1.0, max(0.1, load_fraction)),
+            llc_footprint_bytes=units.mb(24),
+            llc_intensity=0.90,
+            membw_per_core=qps * _BYTES_PER_OP / max(cores, 1),
+            disk_bw=0.0,
+            network_bw=qps * _WIRE_BYTES_PER_OP,
+        )

@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate.
+
+Provides a minimal DES kernel (:mod:`repro.sim.events`), an event-driven
+multi-server queue for request-level validation (:mod:`repro.sim.queueing`),
+closed-form tail-latency approximations (:mod:`repro.sim.analytic`) and the
+service-time / arrival distributions shared by both
+(:mod:`repro.sim.distributions`).
+"""
+
+from repro.sim.analytic import mmc_erlang_c, mmc_tail_latency, mmc_utilization
+from repro.sim.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    Pareto,
+    ServiceDistribution,
+)
+from repro.sim.events import Event, EventQueue, Simulator
+from repro.sim.queueing import QueueMetrics, QueueSimulator
+
+__all__ = [
+    "Deterministic",
+    "Event",
+    "EventQueue",
+    "Exponential",
+    "LogNormal",
+    "Pareto",
+    "QueueMetrics",
+    "QueueSimulator",
+    "ServiceDistribution",
+    "Simulator",
+    "mmc_erlang_c",
+    "mmc_tail_latency",
+    "mmc_utilization",
+]

@@ -1,0 +1,168 @@
+"""Service-time and arrival distributions used by the queueing substrate.
+
+Each distribution exposes ``mean`` and ``sample(rng)`` plus an analytic
+``scv`` (squared coefficient of variation) used by the M/G/k approximations.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class ServiceDistribution(ABC):
+    """A positive-valued random variable."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value."""
+
+    @property
+    @abstractmethod
+    def scv(self) -> float:
+        """Squared coefficient of variation Var/Mean^2."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw one value (``size=None``) or an array of ``size`` values."""
+
+    def scaled(self, factor: float) -> "ServiceDistribution":
+        """Return a copy with the mean scaled by ``factor``."""
+        raise NotImplementedError
+
+
+class Deterministic(ServiceDistribution):
+    """A constant (D in Kendall notation)."""
+
+    def __init__(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("value must be positive")
+        self._value = value
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    @property
+    def scv(self) -> float:
+        return 0.0
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            return self._value
+        return np.full(size, self._value)
+
+    def scaled(self, factor: float) -> "Deterministic":
+        return Deterministic(self._value * factor)
+
+    def __repr__(self) -> str:
+        return f"Deterministic({self._value!r})"
+
+
+class Exponential(ServiceDistribution):
+    """Exponential with the given mean (M in Kendall notation)."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self._mean = mean
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def scv(self) -> float:
+        return 1.0
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.exponential(self._mean, size=size)
+
+    def scaled(self, factor: float) -> "Exponential":
+        return Exponential(self._mean * factor)
+
+    def __repr__(self) -> str:
+        return f"Exponential({self._mean!r})"
+
+
+class LogNormal(ServiceDistribution):
+    """Log-normal parameterized by its *actual* mean and sigma (of log)."""
+
+    def __init__(self, mean: float, sigma: float) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self._mean = mean
+        self._sigma = sigma
+        self._mu = math.log(mean) - 0.5 * sigma * sigma
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def sigma(self) -> float:
+        return self._sigma
+
+    @property
+    def scv(self) -> float:
+        return math.exp(self._sigma * self._sigma) - 1.0
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.lognormal(self._mu, self._sigma, size=size)
+
+    def scaled(self, factor: float) -> "LogNormal":
+        return LogNormal(self._mean * factor, self._sigma)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mean={self._mean!r}, sigma={self._sigma!r})"
+
+
+class Pareto(ServiceDistribution):
+    """Bounded-mean Pareto; models heavy-tailed request sizes.
+
+    Parameterized by mean and tail index ``alpha > 1`` so ``mean`` is finite;
+    ``xm`` (scale) is derived.  ``alpha <= 2`` would have infinite variance,
+    so ``scv`` raises for such indices — use only where variance is needed
+    with ``alpha > 2``.
+    """
+
+    def __init__(self, mean: float, alpha: float) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        if alpha <= 1:
+            raise ValueError("alpha must exceed 1 for a finite mean")
+        self._mean = mean
+        self._alpha = alpha
+        self._xm = mean * (alpha - 1) / alpha
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def scv(self) -> float:
+        if self._alpha <= 2:
+            raise ValueError("variance undefined for alpha <= 2")
+        variance = (self._xm**2 * self._alpha) / (
+            (self._alpha - 1) ** 2 * (self._alpha - 2)
+        )
+        return variance / (self._mean**2)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        # numpy's pareto returns (X/xm - 1); rescale to classic Pareto.
+        return self._xm * (1.0 + rng.pareto(self._alpha, size=size))
+
+    def scaled(self, factor: float) -> "Pareto":
+        return Pareto(self._mean * factor, self._alpha)
+
+    def __repr__(self) -> str:
+        return f"Pareto(mean={self._mean!r}, alpha={self._alpha!r})"

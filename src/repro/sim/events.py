@@ -1,0 +1,122 @@
+"""A small discrete-event simulation kernel.
+
+The kernel is a classic priority-queue event loop: callers schedule
+:class:`Event` objects at absolute timestamps and :class:`Simulator.run`
+dispatches them in time order.  Events scheduled at the same timestamp are
+dispatched in insertion order (stable), which keeps traces deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, sequence)`` so simultaneous events preserve
+    insertion order.  ``cancelled`` events are skipped at dispatch.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of events with stable same-time ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        event = Event(time=time, sequence=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Pop the next non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """Event loop with a clock.
+
+    ``schedule`` takes a *delay* relative to the current time; ``at`` takes
+    an absolute timestamp.  ``run`` dispatches until the queue empties or
+    ``until`` is reached, whichever is first.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, action)
+
+    def at(self, time: float, action: Callable[[], None]) -> Event:
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        return self._queue.push(time, action)
+
+    def run(self, until: float | None = None) -> float:
+        """Dispatch events in order; return the final clock value.
+
+        With ``until`` set, the clock advances to exactly ``until`` even if
+        the queue drains earlier, so fixed-horizon runs always end at the
+        horizon.
+        """
+        self._running = True
+        try:
+            while self._running:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = event.time
+                event.action()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the loop after the currently dispatching event."""
+        self._running = False

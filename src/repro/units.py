@@ -1,0 +1,67 @@
+"""Unit helpers.
+
+All internal simulation time is in **seconds** (float).  Sizes are in
+**bytes**, bandwidth in **bytes/second**, and request rates in
+**requests/second** (QPS).  These helpers exist so call sites can state units
+explicitly instead of sprinkling magic multipliers.
+"""
+
+from __future__ import annotations
+
+# --- time -----------------------------------------------------------------
+
+USEC = 1e-6
+MSEC = 1e-3
+SEC = 1.0
+
+
+def usec(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * USEC
+
+
+def msec(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MSEC
+
+
+def to_usec(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / USEC
+
+
+def to_msec(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MSEC
+
+
+# --- sizes ------------------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def mb(value: float) -> float:
+    """Convert mebibytes to bytes."""
+    return value * MB
+
+
+def gb(value: float) -> float:
+    """Convert gibibytes to bytes."""
+    return value * GB
+
+
+# --- rates ------------------------------------------------------------------
+
+GBPS = 1e9 / 8  # network: gigabits/second expressed in bytes/second
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return value * GBPS
+
+
+def gbytes_per_sec(value: float) -> float:
+    """Convert gigabytes/second to bytes/second (memory bandwidth)."""
+    return value * 1e9

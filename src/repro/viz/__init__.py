@@ -1,0 +1,5 @@
+"""Text rendering of results (benches print tables, not plots)."""
+
+from repro.viz.tables import format_table, format_timeline
+
+__all__ = ["format_table", "format_timeline"]

@@ -1,0 +1,56 @@
+"""Aligned text tables and sparkline timelines for bench output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_timeline(
+    values: np.ndarray, width: int = 80, label: str = "", ceiling: float | None = None
+) -> str:
+    """Render a numeric series as a one-line sparkline."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return f"{label}: (empty)"
+    if arr.size > width:
+        bins = np.array_split(arr, width)
+        arr = np.asarray([b.mean() for b in bins])
+    top = ceiling if ceiling is not None else float(arr.max())
+    top = max(top, 1e-12)
+    scaled = np.clip(arr / top, 0.0, 1.0)
+    indices = (scaled * (len(_SPARK_CHARS) - 1)).round().astype(int)
+    body = "".join(_SPARK_CHARS[i] for i in indices)
+    prefix = f"{label}: " if label else ""
+    return f"{prefix}|{body}|"

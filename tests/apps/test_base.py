@@ -1,0 +1,170 @@
+"""ApproximableApp framework: VariantSpec, counters, measurement."""
+
+from typing import Any, Mapping
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.apps.base import (
+    AppMetadata,
+    ApproximableApp,
+    KernelCounters,
+    VariantSpec,
+)
+from repro.apps.knobs import Knob, LoopPerforation
+from repro.server.resources import ResourceProfile
+
+
+class ToyApp(ApproximableApp):
+    """Minimal app: work = kept iterations, traffic fixed + proportional."""
+
+    metadata = AppMetadata(
+        name="toy",
+        suite="test",
+        nominal_exec_time=10.0,
+        parallel_fraction=0.9,
+        dynrio_overhead=0.02,
+        profile=ResourceProfile(llc_footprint_bytes=units.mb(10)),
+    )
+
+    def knobs(self) -> dict[str, Knob]:
+        return {"keep": LoopPerforation("keep", (0.5, 0.25))}
+
+    def run_kernel(self, settings: Mapping[str, Any], counters, rng) -> float:
+        keep = settings["keep"]
+        iterations = int(1000 * keep)
+        counters.add(work=iterations, traffic=8.0 * iterations + 2000.0)
+        counters.note_footprint(8000.0)
+        return float(iterations)
+
+    def quality_loss(self, precise_output, approx_output) -> float:
+        return 100.0 * (precise_output - approx_output) / precise_output
+
+
+class TestVariantSpec:
+    def test_empty_is_precise(self):
+        assert len(VariantSpec()) == 0
+
+    def test_hashable_and_equal(self):
+        a = VariantSpec({"x": 1, "y": 2})
+        b = VariantSpec({"y": 2, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_mapping_interface(self):
+        spec = VariantSpec({"x": 0.5})
+        assert spec["x"] == 0.5
+        assert "x" in spec
+        assert dict(spec) == {"x": 0.5}
+
+    def test_is_precise_for(self):
+        knobs = {"keep": LoopPerforation("keep", (0.5,))}
+        assert VariantSpec({"keep": 1.0}).is_precise_for(knobs)
+        assert not VariantSpec({"keep": 0.5}).is_precise_for(knobs)
+
+    def test_repr(self):
+        assert "keep=0.5" in repr(VariantSpec({"keep": 0.5}))
+
+
+class TestCounters:
+    def test_accumulate(self):
+        counters = KernelCounters()
+        counters.add(work=5, traffic=10)
+        counters.add(work=1)
+        assert counters.work == 6
+        assert counters.mem_traffic == 10
+
+    def test_footprint_high_water(self):
+        counters = KernelCounters()
+        counters.note_footprint(100)
+        counters.note_footprint(50)
+        assert counters.footprint == 100
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            KernelCounters().add(work=-1)
+
+
+class TestRunMachinery:
+    def test_materialize_fills_defaults(self):
+        app = ToyApp()
+        settings = app.materialize(VariantSpec())
+        assert settings == {"keep": 1.0}
+
+    def test_materialize_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            ToyApp().materialize(VariantSpec({"ghost": 1}))
+
+    def test_run_deterministic(self):
+        app = ToyApp()
+        a = app.run(VariantSpec({"keep": 0.5}), seed=3)
+        b = app.run(VariantSpec({"keep": 0.5}), seed=3)
+        assert a.output == b.output
+
+    def test_precise_run_cached(self):
+        app = ToyApp()
+        assert app.precise_run(seed=0) is app.precise_run(seed=0)
+
+    def test_kernel_must_do_work(self):
+        class LazyApp(ToyApp):
+            def run_kernel(self, settings, counters, rng):
+                return 0.0
+
+        with pytest.raises(RuntimeError):
+            LazyApp().run()
+
+
+class TestMeasure:
+    def test_precise_measures_as_identity(self):
+        mv = ToyApp().measure(VariantSpec({"keep": 1.0}))
+        assert mv.is_precise
+        assert mv.time_factor == 1.0
+        assert mv.inaccuracy_pct == 0.0
+
+    def test_time_factor_includes_fixed_share(self):
+        mv = ToyApp().measure(VariantSpec({"keep": 0.5}))
+        # Raw work ratio is 0.5; fixed-share blending lifts it.
+        assert 0.5 < mv.time_factor < 1.0
+
+    def test_deeper_perforation_faster(self):
+        app = ToyApp()
+        half = app.measure(VariantSpec({"keep": 0.5}))
+        quarter = app.measure(VariantSpec({"keep": 0.25}))
+        assert quarter.time_factor < half.time_factor
+        assert quarter.inaccuracy_pct > half.inaccuracy_pct
+
+    def test_traffic_rate_clamped(self):
+        mv = ToyApp().measure(VariantSpec({"keep": 0.25}))
+        assert 0.15 <= mv.traffic_rate_factor <= 1.05
+
+    def test_scaled_profile(self):
+        app = ToyApp()
+        mv = app.measure(VariantSpec({"keep": 0.25}))
+        scaled = mv.scaled_profile(app.metadata.profile)
+        # Contention scales by the (clamped) traffic rate — at most +5%.
+        assert scaled.membw_per_core <= 1.05 * app.metadata.profile.membw_per_core
+
+
+class TestMetadataValidation:
+    def test_rejects_bad_exec_time(self):
+        with pytest.raises(ValueError):
+            AppMetadata(
+                name="x",
+                suite="s",
+                nominal_exec_time=0.0,
+                parallel_fraction=0.5,
+                dynrio_overhead=0.01,
+                profile=ResourceProfile(),
+            )
+
+    def test_rejects_bad_parallel_fraction(self):
+        with pytest.raises(ValueError):
+            AppMetadata(
+                name="x",
+                suite="s",
+                nominal_exec_time=1.0,
+                parallel_fraction=1.5,
+                dynrio_overhead=0.01,
+                profile=ResourceProfile(),
+            )

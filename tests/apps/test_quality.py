@@ -1,0 +1,117 @@
+"""Quality metric helpers."""
+
+import numpy as np
+import pytest
+
+from repro.apps import quality
+
+
+class TestCostIncrease:
+    def test_identity_zero(self):
+        assert quality.cost_increase_pct(10.0, 10.0) == 0.0
+
+    def test_increase(self):
+        assert quality.cost_increase_pct(11.0, 10.0) == pytest.approx(10.0)
+
+    def test_improvement_clamps_to_zero(self):
+        assert quality.cost_increase_pct(9.0, 10.0) == 0.0
+
+    def test_zero_precise(self):
+        assert quality.cost_increase_pct(0.0, 0.0) == 0.0
+        assert quality.cost_increase_pct(1.0, 0.0) == 100.0
+
+
+class TestScoreDrop:
+    def test_drop(self):
+        assert quality.score_drop_pct(90.0, 100.0) == pytest.approx(10.0)
+
+    def test_gain_clamps(self):
+        assert quality.score_drop_pct(110.0, 100.0) == 0.0
+
+    def test_negative_scores(self):
+        # Log-likelihoods: -110 is worse than -100.
+        assert quality.score_drop_pct(-110.0, -100.0) == pytest.approx(10.0)
+
+
+class TestAccuracyDrop:
+    def test_percentage_points(self):
+        assert quality.accuracy_drop_pct(0.90, 0.85) == pytest.approx(5.0)
+
+    def test_clamps(self):
+        assert quality.accuracy_drop_pct(0.80, 0.85) == 0.0
+
+
+class TestRmse:
+    def test_identical_zero(self):
+        a = np.ones((4, 4))
+        assert quality.rmse_pct(a, a) == 0.0
+
+    def test_scaled_by_range(self):
+        precise = np.asarray([0.0, 10.0])
+        approx = np.asarray([1.0, 10.0])
+        # RMSE = sqrt(0.5), range 10 -> ~7.07%
+        assert quality.rmse_pct(approx, precise) == pytest.approx(7.07, abs=0.01)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            quality.rmse_pct(np.ones(3), np.ones(4))
+
+    def test_constant_precise_uses_magnitude(self):
+        precise = np.full(4, 5.0)
+        approx = np.full(4, 5.5)
+        assert quality.rmse_pct(approx, precise) == pytest.approx(10.0)
+
+
+class TestRelativeError:
+    def test_identity(self):
+        assert quality.relative_error_pct(np.ones(3), np.ones(3)) == 0.0
+
+    def test_ten_percent(self):
+        assert quality.relative_error_pct(
+            np.asarray([1.1]), np.asarray([1.0])
+        ) == pytest.approx(10.0)
+
+
+class TestSetF1Loss:
+    def test_identical_sets(self):
+        assert quality.set_f1_loss_pct({1, 2, 3}, {1, 2, 3}) == 0.0
+
+    def test_disjoint_sets(self):
+        assert quality.set_f1_loss_pct({1, 2}, {3, 4}) == 100.0
+
+    def test_both_empty(self):
+        assert quality.set_f1_loss_pct(set(), set()) == 0.0
+
+    def test_partial_overlap(self):
+        loss = quality.set_f1_loss_pct({1, 2, 3, 4}, {1, 2})
+        assert 0 < loss < 100
+
+
+class TestAssignmentDisagreement:
+    def test_identical(self):
+        labels = np.asarray([0, 1, 2])
+        assert quality.assignment_disagreement_pct(labels, labels) == 0.0
+
+    def test_half(self):
+        a = np.asarray([0, 0, 1, 1])
+        b = np.asarray([0, 0, 0, 0])
+        assert quality.assignment_disagreement_pct(a, b) == pytest.approx(50.0)
+
+    def test_empty(self):
+        empty = np.asarray([])
+        assert quality.assignment_disagreement_pct(empty, empty) == 0.0
+
+
+class TestRankCorrelationLoss:
+    def test_identical_rankings(self):
+        r = np.arange(10, dtype=float)
+        assert quality.rank_correlation_loss_pct(r, r) == pytest.approx(0.0)
+
+    def test_reversed_rankings(self):
+        r = np.arange(10, dtype=float)
+        assert quality.rank_correlation_loss_pct(r[::-1], r) == pytest.approx(100.0)
+
+    def test_nan_inputs_penalized(self):
+        a = np.asarray([np.nan, 1.0, 2.0])
+        b = np.asarray([0.0, 1.0, 2.0])
+        assert quality.rank_correlation_loss_pct(a, b) == 100.0

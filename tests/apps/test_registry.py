@@ -1,0 +1,40 @@
+"""App registry: the 24 paper applications."""
+
+import pytest
+
+from repro.apps import ALL_APP_NAMES, SUITES, make_app
+
+
+class TestRegistry:
+    def test_twenty_four_apps(self):
+        assert len(ALL_APP_NAMES) == 24
+
+    def test_suite_partition(self):
+        from_suites = [name for names in SUITES.values() for name in names]
+        assert sorted(from_suites) == sorted(ALL_APP_NAMES)
+
+    def test_paper_suite_sizes(self):
+        assert len(SUITES["parsec"]) == 3
+        assert len(SUITES["splash2"]) == 3
+        assert len(SUITES["minebench"]) == 10
+        assert len(SUITES["bioperf"]) == 8
+
+    @pytest.mark.parametrize("name", ALL_APP_NAMES)
+    def test_instantiable(self, name):
+        app = make_app(name)
+        assert app.name == name
+
+    @pytest.mark.parametrize("name", ALL_APP_NAMES)
+    def test_suite_metadata_matches(self, name):
+        app = make_app(name)
+        assert name in SUITES[app.metadata.suite]
+
+    def test_unknown_app(self):
+        with pytest.raises(ValueError):
+            make_app("doom")
+
+    def test_case_insensitive(self):
+        assert make_app("CANNEAL").name == "canneal"
+
+    def test_fresh_instances(self):
+        assert make_app("kmeans") is not make_app("kmeans")

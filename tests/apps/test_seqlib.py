@@ -1,0 +1,141 @@
+"""BioPerf shared sequence library."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bioperf._seqlib import (
+    GAP_SYMBOL,
+    _horizontal_gap_closure,
+    encode_kmers,
+    mutate_sequence,
+    needleman_wunsch,
+    pad_alignment,
+    random_sequence,
+    sequence_family,
+    smith_waterman_score,
+    sum_of_pairs_score,
+)
+from repro.rng import generator
+
+
+class TestSequenceGeneration:
+    def test_alphabet_respected(self):
+        seq = random_sequence(generator(1), 500, alphabet=4)
+        assert seq.min() >= 0 and seq.max() < 4
+
+    def test_mutation_rate(self):
+        rng = generator(2)
+        seq = random_sequence(rng, 2000)
+        mutated = mutate_sequence(rng, seq, substitution_rate=0.2)
+        changed = (seq != mutated).mean()
+        assert 0.1 < changed < 0.25  # 0.2 * (3/4 actually change)
+
+    def test_indels_change_length(self):
+        rng = generator(3)
+        seq = random_sequence(rng, 500)
+        mutated = mutate_sequence(rng, seq, 0.0, indel_rate=0.2)
+        assert len(mutated) != len(seq)
+
+    def test_family_related(self):
+        family = sequence_family(generator(4), 4, 100, substitution_rate=0.1,
+                                 indel_rate=0.0)
+        a, b = family[0], family[1]
+        identity = (a == b).mean()
+        assert identity > 0.6  # far above the 0.25 random baseline
+
+
+class TestNeedlemanWunsch:
+    def test_identical_sequences(self):
+        seq = random_sequence(generator(5), 40)
+        score, ga, gb = needleman_wunsch(seq, seq)
+        assert score == pytest.approx(2.0 * len(seq))
+        assert np.array_equal(ga, gb)
+
+    def test_gapped_rows_equal_length(self):
+        rng = generator(6)
+        a, b = random_sequence(rng, 30), random_sequence(rng, 38)
+        _, ga, gb = needleman_wunsch(a, b)
+        assert len(ga) == len(gb)
+
+    def test_traceback_preserves_sequences(self):
+        rng = generator(7)
+        a, b = random_sequence(rng, 25), random_sequence(rng, 31)
+        _, ga, gb = needleman_wunsch(a, b)
+        assert np.array_equal(ga[ga != GAP_SYMBOL], a)
+        assert np.array_equal(gb[gb != GAP_SYMBOL], b)
+
+    def test_band_bounds_score(self):
+        rng = generator(8)
+        a = random_sequence(rng, 40)
+        b = mutate_sequence(rng, a, 0.1, 0.05)
+        full, _, _ = needleman_wunsch(a, b)
+        banded, _, _ = needleman_wunsch(a, b, band=6)
+        assert banded <= full + 1e-9
+
+
+class TestSmithWaterman:
+    def test_exact_substring(self):
+        rng = generator(9)
+        b = random_sequence(rng, 80)
+        a = b[20:40].copy()
+        assert smith_waterman_score(a, b) == pytest.approx(2.0 * len(a))
+
+    def test_nonnegative(self):
+        rng = generator(10)
+        a, b = random_sequence(rng, 20), random_sequence(rng, 20)
+        assert smith_waterman_score(a, b) >= 0.0
+
+    def test_local_beats_unrelated_flanks(self):
+        rng = generator(11)
+        core = random_sequence(rng, 15)
+        hay = np.concatenate([random_sequence(rng, 30), core, random_sequence(rng, 30)])
+        assert smith_waterman_score(core, hay) >= 0.8 * 2.0 * len(core)
+
+
+class TestGapClosure:
+    def test_matches_naive_recurrence(self):
+        rng = generator(12)
+        candidate = rng.normal(0, 5, size=50)
+        gap = -2.0
+        fast = _horizontal_gap_closure(candidate, gap)
+        slow = candidate.copy()
+        for j in range(1, len(slow)):
+            slow[j] = max(slow[j], slow[j - 1] + gap)
+        assert np.allclose(fast, slow)
+
+
+class TestKmers:
+    def test_count(self):
+        seq = random_sequence(generator(13), 100)
+        assert len(encode_kmers(seq, 4)) == 97
+
+    def test_codes_unique_per_kmer(self):
+        a = np.asarray([0, 1, 2, 3])
+        b = np.asarray([3, 2, 1, 0])
+        assert encode_kmers(a, 4)[0] != encode_kmers(b, 4)[0]
+
+    def test_short_sequence(self):
+        assert len(encode_kmers(np.asarray([1, 2]), 4)) == 0
+
+
+class TestSumOfPairs:
+    def test_identical_rows(self):
+        row = random_sequence(generator(14), 30)
+        alignment = np.stack([row, row, row])
+        assert sum_of_pairs_score(alignment) == pytest.approx(3 * 2.0 * 30)
+
+    def test_gaps_penalized(self):
+        row = random_sequence(generator(15), 10)
+        gapped = row.copy()
+        gapped[0] = GAP_SYMBOL
+        with_gap = sum_of_pairs_score(np.stack([row, gapped]))
+        without = sum_of_pairs_score(np.stack([row, row]))
+        assert with_gap < without
+
+
+class TestPadAlignment:
+    def test_rectangular(self):
+        rows = [np.asarray([1, 2, 3]), np.asarray([1, 2])]
+        padded = pad_alignment(rows)
+        assert padded.shape == (2, 3)
+        assert padded[1, 2] == GAP_SYMBOL

@@ -1,0 +1,113 @@
+"""Cluster harness: builders, metrics, sweeps."""
+
+import math
+
+import pytest
+
+from repro.cluster import (
+    ViolinStats,
+    breakdown_outcomes,
+    combination_mixes,
+    compare_policies,
+    ladder_for,
+    run_colocation,
+    summarize_pair,
+)
+from repro.core import PliantPolicy, PrecisePolicy
+from repro.core.runtime import ColocationConfig
+
+
+class TestLadderFor:
+    def test_cached(self):
+        assert ladder_for("kmeans") is ladder_for("kmeans")
+
+    def test_has_levels(self):
+        assert ladder_for("kmeans").max_level >= 1
+
+
+class TestRunColocation:
+    def test_default_policy_is_pliant(self):
+        result = run_colocation(
+            "mongodb", ["kmeans"], config=ColocationConfig(seed=4)
+        )
+        assert result.policy_name == "pliant"
+
+    def test_custom_loadgen(self):
+        from repro.services.loadgen import ConstantLoad
+
+        result = run_colocation(
+            "mongodb",
+            ["kmeans"],
+            config=ColocationConfig(seed=4, horizon=8.0, stop_when_apps_done=False),
+            loadgen=ConstantLoad(100.0),
+        )
+        assert result.offered_qps > 0
+
+
+class TestComparePolicies:
+    def test_keyed_by_policy_name(self):
+        results = compare_policies(
+            "mongodb",
+            ["kmeans"],
+            [PrecisePolicy(), PliantPolicy(seed=4)],
+            config=ColocationConfig(seed=4),
+        )
+        assert set(results) == {"precise", "pliant"}
+
+
+class TestSummarizePair:
+    def test_summary_fields(self):
+        config = ColocationConfig(seed=4)
+        results = compare_policies(
+            "mongodb", ["kmeans"], [PrecisePolicy(), PliantPolicy(seed=4)], config
+        )
+        summary = summarize_pair(
+            results["precise"], results["pliant"], "kmeans", dynrio_overhead=0.034
+        )
+        assert summary.precise_ratio > summary.pliant_ratio
+        assert summary.pliant_meets_qos
+        assert not math.isnan(summary.relative_exec_time)
+        assert summary.inaccuracy_pct <= 5.5
+
+
+class TestViolinStats:
+    def test_five_numbers(self):
+        stats = ViolinStats.from_values([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.median == 3.0
+        assert stats.mean == 3.0
+        assert stats.count == 5
+        assert stats.spread() == 4.0
+
+    def test_empty(self):
+        stats = ViolinStats.from_values([])
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+
+
+class TestCombinationMixes:
+    def test_all_pairs(self):
+        mixes = combination_mixes(("a", "b", "c", "d"), 2)
+        assert len(mixes) == 6
+
+    def test_sampling_deterministic(self):
+        names = tuple(f"app{i}" for i in range(10))
+        a = combination_mixes(names, 2, sample=5, seed=1)
+        b = combination_mixes(names, 2, sample=5, seed=1)
+        assert a == b
+        assert len(a) == 5
+
+    def test_sample_larger_than_population(self):
+        mixes = combination_mixes(("a", "b"), 2, sample=100)
+        assert mixes == [("a", "b")]
+
+
+class TestBreakdown:
+    def test_buckets(self):
+        config = ColocationConfig(seed=4)
+        result = run_colocation("mongodb", ["snp"], config=config)
+        breakdown = breakdown_outcomes([result])
+        assert breakdown.total == 1
+        fractions = breakdown.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)

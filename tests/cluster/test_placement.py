@@ -1,0 +1,76 @@
+"""Placement advisor (the paper's scheduler-integration extension)."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.cluster import PlacementAdvisor, ladder_for
+from repro.services import make_service
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return PlacementAdvisor()
+
+
+def pair(app_name):
+    return make_app(app_name).metadata.profile, ladder_for(app_name)
+
+
+class TestPredict:
+    def test_precise_always_violates(self, advisor):
+        for service_name in ("nginx", "memcached", "mongodb"):
+            svc = make_service(service_name)
+            profile, ladder = pair("kmeans")
+            prediction = advisor.predict(svc, profile, ladder)
+            assert prediction.precise_ratio > 1.0
+
+    def test_snp_decontends_for_mongodb(self, advisor):
+        svc = make_service("mongodb")
+        profile, ladder = pair("snp")
+        prediction = advisor.predict(svc, profile, ladder)
+        assert prediction.best_approx_ratio < prediction.precise_ratio
+        assert prediction.predicted_cores <= 1
+
+    def test_canneal_needs_cores_on_memcached(self, advisor):
+        svc = make_service("memcached")
+        profile, ladder = pair("canneal")
+        prediction = advisor.predict(svc, profile, ladder)
+        assert prediction.predicted_cores >= 1
+        assert not prediction.approx_alone_suffices
+
+    def test_compatibility_orders_sanely(self, advisor):
+        """A strong decontender must rank above canneal for memcached."""
+        svc = make_service("memcached")
+        snp = advisor.predict(svc, *pair("snp"))
+        canneal = advisor.predict(svc, *pair("canneal"))
+        assert snp.compatibility > canneal.compatibility
+
+
+class TestAssign:
+    def test_all_apps_placed_once(self, advisor):
+        services = [make_service(n) for n in ("nginx", "memcached", "mongodb")]
+        apps = [pair(n) for n in ("canneal", "snp", "kmeans", "raytrace", "hmmer", "plsa")]
+        assignment = advisor.assign(services, apps)
+        placed = [app for group in assignment.values() for app in group]
+        assert sorted(placed) == sorted(
+            ["canneal", "snp", "kmeans", "raytrace", "hmmer", "plsa"]
+        )
+
+    def test_balanced(self, advisor):
+        services = [make_service(n) for n in ("nginx", "memcached", "mongodb")]
+        apps = [pair(n) for n in ("canneal", "snp", "kmeans", "raytrace", "hmmer", "plsa")]
+        assignment = advisor.assign(services, apps)
+        sizes = [len(group) for group in assignment.values()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_memcached_avoids_canneal_when_possible(self, advisor):
+        """With one slot per node, the scheduler should not hand memcached
+        the app that costs it the most cores."""
+        services = [make_service(n) for n in ("memcached", "mongodb")]
+        apps = [pair("canneal"), pair("snp")]
+        assignment = advisor.assign(services, apps)
+        assert assignment["memcached"] == ["snp"]
+
+    def test_rejects_empty_fleet(self, advisor):
+        with pytest.raises(ValueError):
+            advisor.assign([], [pair("kmeans")])

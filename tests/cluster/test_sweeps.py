@@ -1,0 +1,71 @@
+"""Sweep helpers: load and decision-interval sweeps."""
+
+import pytest
+
+from repro.cluster.sweeps import OutcomeBreakdown, interval_sweep, load_sweep
+from repro.core.runtime import ColocationConfig
+
+
+class TestLoadSweep:
+    def test_points_cover_requested_loads(self):
+        points = load_sweep(
+            "mongodb",
+            ("kmeans",),
+            load_fractions=(0.4, 0.8),
+            base_config=ColocationConfig(seed=4),
+        )
+        assert [p.value for p in points] == [0.4, 0.8]
+
+    def test_latency_grows_with_load(self):
+        points = load_sweep(
+            "mongodb",
+            ("kmeans",),
+            load_fractions=(0.4, 0.95),
+            base_config=ColocationConfig(seed=4),
+        )
+        assert points[0].result.qos_ratio < points[1].result.qos_ratio
+
+    def test_custom_policy_factory(self):
+        from repro.core import PrecisePolicy
+
+        points = load_sweep(
+            "mongodb",
+            ("kmeans",),
+            load_fractions=(0.5,),
+            policy_factory=PrecisePolicy,
+            base_config=ColocationConfig(seed=4),
+        )
+        assert points[0].result.policy_name == "precise"
+
+
+class TestIntervalSweep:
+    def test_points_cover_intervals(self):
+        points = interval_sweep(
+            "mongodb",
+            ("kmeans",),
+            intervals=(0.5, 2.0),
+            base_config=ColocationConfig(seed=4),
+        )
+        assert [p.value for p in points] == [0.5, 2.0]
+
+    def test_finer_interval_more_decisions(self):
+        points = interval_sweep(
+            "mongodb",
+            ("kmeans",),
+            intervals=(0.5, 2.0),
+            base_config=ColocationConfig(seed=4),
+        )
+        fine, coarse = points
+        assert len(fine.result.intervals) > len(coarse.result.intervals)
+
+
+class TestOutcomeBreakdown:
+    def test_totals(self):
+        breakdown = OutcomeBreakdown(approx_only=2, one_core=3, two_cores=1)
+        assert breakdown.total == 6
+        fractions = breakdown.fractions()
+        assert fractions["approx_only"] == pytest.approx(2 / 6)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_safe(self):
+        assert OutcomeBreakdown().fractions()["approx_only"] == 0.0

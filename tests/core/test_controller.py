@@ -1,0 +1,105 @@
+"""Fig. 3 state machine: the full transition table."""
+
+import pytest
+
+from repro.core.controller import ControllerAction, PliantController
+
+
+def make(level=0, reclaimed=0, max_level=4, max_reclaimable=7):
+    return PliantController(
+        max_level=max_level,
+        max_reclaimable=max_reclaimable,
+        level=level,
+        reclaimed=reclaimed,
+    )
+
+
+class TestViolationTransitions:
+    def test_precise_jumps_to_most_approx(self):
+        ctl = make(level=0)
+        assert ctl.decide(qos_met=False, slack=-0.5) is ControllerAction.JUMP_TO_MOST_APPROX
+        assert ctl.level == 4
+
+    def test_intermediate_level_jumps_to_most_approx(self):
+        # "If ... operating at an approximation degree other than the highest
+        # and a QoS violation occurs, it immediately reverts to its most
+        # approximate variant."
+        ctl = make(level=2)
+        ctl.decide(qos_met=False, slack=-0.1)
+        assert ctl.level == 4
+
+    def test_at_max_level_reclaims_core(self):
+        ctl = make(level=4)
+        assert ctl.decide(qos_met=False, slack=-0.1) is ControllerAction.RECLAIM_CORE
+        assert ctl.reclaimed == 1
+
+    def test_reclaims_one_core_per_interval(self):
+        ctl = make(level=4)
+        for expected in (1, 2, 3):
+            ctl.decide(qos_met=False, slack=-0.1)
+            assert ctl.reclaimed == expected
+
+    def test_exhausted_holds(self):
+        ctl = make(level=4, reclaimed=7)
+        assert ctl.decide(qos_met=False, slack=-0.1) is ControllerAction.HOLD
+
+
+class TestSlackTransitions:
+    def test_returns_core_before_reducing_approximation(self):
+        ctl = make(level=4, reclaimed=2)
+        assert ctl.decide(qos_met=True, slack=0.2) is ControllerAction.RETURN_CORE
+        assert ctl.reclaimed == 1
+        assert ctl.level == 4
+
+    def test_steps_toward_precise_after_cores_returned(self):
+        ctl = make(level=4, reclaimed=0)
+        assert (
+            ctl.decide(qos_met=True, slack=0.2)
+            is ControllerAction.STEP_TOWARD_PRECISE
+        )
+        assert ctl.level == 3
+
+    def test_gradual_not_jump(self):
+        ctl = make(level=4)
+        ctl.decide(qos_met=True, slack=0.2)
+        ctl.decide(qos_met=True, slack=0.2)
+        assert ctl.level == 2
+
+    def test_fully_relaxed_holds(self):
+        ctl = make(level=0, reclaimed=0)
+        assert ctl.decide(qos_met=True, slack=0.5) is ControllerAction.HOLD
+
+
+class TestHoldBand:
+    def test_met_without_slack_holds(self):
+        ctl = make(level=3, reclaimed=1)
+        assert ctl.decide(qos_met=True, slack=0.05) is ControllerAction.HOLD
+        assert ctl.level == 3
+        assert ctl.reclaimed == 1
+
+    def test_exactly_at_threshold_holds(self):
+        ctl = make(level=3, reclaimed=1)
+        assert ctl.decide(qos_met=True, slack=0.10) is ControllerAction.HOLD
+
+
+class TestFullCycle:
+    def test_escalate_then_deescalate_mirror(self):
+        ctl = make()
+        ctl.decide(False, -0.5)  # -> most approx
+        ctl.decide(False, -0.5)  # -> reclaim 1
+        ctl.decide(False, -0.5)  # -> reclaim 2
+        assert (ctl.level, ctl.reclaimed) == (4, 2)
+        ctl.decide(True, 0.3)  # return core
+        ctl.decide(True, 0.3)  # return core
+        ctl.decide(True, 0.3)  # step level
+        assert (ctl.level, ctl.reclaimed) == (3, 0)
+
+
+class TestValidation:
+    def test_rejects_negative_max_level(self):
+        with pytest.raises(ValueError):
+            PliantController(max_level=-1, max_reclaimable=0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            PliantController(max_level=1, max_reclaimable=1, slack_threshold=1.5)

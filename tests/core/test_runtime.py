@@ -1,0 +1,145 @@
+"""Colocation engine mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.cluster import build_engine
+from repro.core import PliantPolicy, PrecisePolicy
+from repro.core.runtime import ColocationConfig, ColocationEngine
+
+
+def engine_for(service="memcached", apps=("kmeans",), policy=None, **cfg_kwargs):
+    config = ColocationConfig(seed=5, **cfg_kwargs)
+    return build_engine(service, list(apps), policy or PrecisePolicy(), config=config)
+
+
+class TestSetup:
+    def test_fair_allocation_single_app(self):
+        engine = engine_for()
+        assert engine.service_cores == 8
+        assert engine.app_sim("kmeans").tenant.cores == 8
+
+    def test_fair_allocation_three_apps(self):
+        engine = engine_for(apps=("kmeans", "semphy", "raytrace"))
+        assert engine.service_cores == 4
+        for name in ("kmeans", "semphy", "raytrace"):
+            assert engine.app_sim(name).tenant.cores == 4
+
+    def test_requires_an_app(self):
+        from repro.services import make_service
+
+        with pytest.raises(ValueError):
+            ColocationEngine(make_service("nginx"), [], PrecisePolicy())
+
+    def test_instrumentation_only_when_required(self):
+        precise_engine = engine_for(policy=PrecisePolicy())
+        assert precise_engine.app_sim("kmeans").instrumentor is None
+        pliant_engine = engine_for(policy=PliantPolicy(seed=5))
+        assert pliant_engine.app_sim("kmeans").instrumentor is not None
+
+
+class TestRun:
+    def test_app_completes(self):
+        result = engine_for().run()
+        outcome = result.app_outcome("kmeans")
+        assert outcome.completed
+        assert outcome.finish_time > 0
+
+    def test_stops_at_completion(self):
+        result = engine_for().run()
+        finish = result.app_outcome("kmeans").finish_time
+        assert result.epoch_times[-1] == pytest.approx(finish, abs=0.2)
+
+    def test_horizon_caps_run(self):
+        result = engine_for(horizon=5.0).run()
+        assert result.epoch_times[-1] <= 5.0
+        assert not result.app_outcome("kmeans").completed
+
+    def test_timeline_shapes_consistent(self):
+        result = engine_for(horizon=10.0).run()
+        n = len(result.epoch_times)
+        assert len(result.epoch_p99) == n
+        assert len(result.epoch_service_cores) == n
+        assert len(result.epoch_app_levels["kmeans"]) == n
+        assert len(result.epoch_app_cores["kmeans"]) == n
+
+    def test_intervals_at_decision_boundary(self):
+        result = engine_for(horizon=10.0, decision_interval=2.0).run()
+        times = [rec.observation.time for rec in result.intervals]
+        assert times == pytest.approx([2.0, 4.0, 6.0, 8.0, 10.0])
+
+    def test_reproducible(self):
+        a = engine_for().run()
+        b = engine_for().run()
+        assert np.array_equal(a.epoch_p99, b.epoch_p99)
+        assert a.app_outcome("kmeans").finish_time == b.app_outcome("kmeans").finish_time
+
+    def test_seed_matters(self):
+        a = engine_for().run()
+        config = ColocationConfig(seed=6)
+        b = build_engine("memcached", ["kmeans"], PrecisePolicy(), config=config).run()
+        assert not np.array_equal(a.epoch_p99, b.epoch_p99)
+
+
+class TestPreciseBaseline:
+    def test_never_acts(self):
+        result = engine_for().run()
+        assert all(rec.action_summary == "hold" for rec in result.intervals)
+        assert result.app_outcome("kmeans").inaccuracy_pct == 0.0
+        assert result.max_cores_reclaimed() == 0
+
+    def test_violates_qos(self):
+        result = engine_for().run()
+        assert result.qos_ratio > 1.3
+
+
+class TestProgressModel:
+    def test_fewer_cores_slower(self):
+        fast = engine_for().run().app_outcome("kmeans").finish_time
+
+        class TakeCores(PrecisePolicy):
+            name = "take-cores"
+            done = False
+
+            def on_interval(self, obs, actuator):
+                if not self.done:
+                    for _ in range(4):
+                        actuator.reclaim_core("kmeans")
+                    self.done = True
+
+        slow = engine_for(policy=TakeCores()).run().app_outcome("kmeans").finish_time
+        assert slow > fast
+
+    def test_instrumented_run_is_slower(self):
+        # Same allocation; Pliant's instrumentation overhead must show up if
+        # the app stays precise.  Use a do-nothing instrumented policy.
+        class InstrumentedHold(PrecisePolicy):
+            requires_instrumentation = True
+            name = "instrumented-hold"
+
+        precise = engine_for().run().app_outcome("kmeans").finish_time
+        instrumented = (
+            engine_for(policy=InstrumentedHold()).run().app_outcome("kmeans").finish_time
+        )
+        assert instrumented > precise
+
+
+class TestAggregates:
+    def test_aggregate_excludes_warmup(self):
+        result = engine_for(horizon=20.0).run()
+        assert result.warmup_seconds > 0
+        assert result.aggregate_p99 > 0
+
+    def test_mean_at_least_median_under_spikes(self):
+        result = engine_for(policy=PliantPolicy(seed=5)).run()
+        assert result.mean_epoch_p99 >= result.aggregate_p99 * 0.8
+
+    def test_qos_met_fraction_bounds(self):
+        result = engine_for(horizon=10.0).run()
+        assert 0.0 <= result.qos_met_fraction() <= 1.0
+
+    def test_missing_app_lookup(self):
+        result = engine_for(horizon=5.0).run()
+        with pytest.raises(LookupError):
+            result.app_outcome("ghost")

@@ -1,0 +1,48 @@
+"""Signal bus semantics."""
+
+import pytest
+
+from repro.dynrio.signals import SIGNAL_BASE, SignalBus
+
+
+class TestRegistration:
+    def test_register_and_send(self):
+        bus = SignalBus()
+        fired = []
+        bus.register("proc", SIGNAL_BASE, lambda: fired.append(1))
+        bus.send("proc", SIGNAL_BASE)
+        assert fired == [1]
+
+    def test_below_realtime_range_rejected(self):
+        with pytest.raises(ValueError):
+            SignalBus().register("proc", 9, lambda: None)
+
+    def test_unhandled_signal_is_error(self):
+        bus = SignalBus()
+        with pytest.raises(LookupError):
+            bus.send("proc", SIGNAL_BASE)
+
+    def test_per_process_isolation(self):
+        bus = SignalBus()
+        fired = []
+        bus.register("a", SIGNAL_BASE, lambda: fired.append("a"))
+        bus.register("b", SIGNAL_BASE, lambda: fired.append("b"))
+        bus.send("b", SIGNAL_BASE)
+        assert fired == ["b"]
+
+
+class TestDeliveryLog:
+    def test_log_records_order(self):
+        bus = SignalBus()
+        bus.register("p", SIGNAL_BASE, lambda: None)
+        bus.register("p", SIGNAL_BASE + 1, lambda: None)
+        bus.send("p", SIGNAL_BASE + 1)
+        bus.send("p", SIGNAL_BASE)
+        assert bus.delivery_log == [("p", SIGNAL_BASE + 1), ("p", SIGNAL_BASE)]
+
+    def test_signals_for(self):
+        bus = SignalBus()
+        bus.register("p", SIGNAL_BASE + 2, lambda: None)
+        bus.register("p", SIGNAL_BASE, lambda: None)
+        assert bus.signals_for("p") == [SIGNAL_BASE, SIGNAL_BASE + 2]
+        assert bus.signals_for("ghost") == []

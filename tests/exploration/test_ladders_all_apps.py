@@ -1,0 +1,66 @@
+"""Ladder contract for every one of the 24 applications.
+
+Uses the on-disk exploration cache, so after the first run these are cheap.
+"""
+
+import pytest
+
+from repro.apps import ALL_APP_NAMES, make_app
+
+
+@pytest.mark.parametrize("name", ALL_APP_NAMES)
+class TestLadderContract:
+    def test_has_approximate_levels(self, name, ladder_cache):
+        ladder = ladder_cache(name)
+        assert 1 <= ladder.max_level <= 8
+
+    def test_level_zero_precise(self, name, ladder_cache):
+        ladder = ladder_cache(name)
+        level0 = ladder.variant(0)
+        assert level0.is_precise
+        assert level0.time_factor == 1.0
+
+    def test_inaccuracy_monotone_nondecreasing(self, name, ladder_cache):
+        ladder = ladder_cache(name)
+        inaccs = [ladder.variant(i).inaccuracy_pct for i in range(ladder.max_level + 1)]
+        assert inaccs == sorted(inaccs)
+
+    def test_all_levels_within_budget(self, name, ladder_cache):
+        ladder = ladder_cache(name)
+        for level in range(ladder.max_level + 1):
+            assert ladder.variant(level).inaccuracy_pct <= 5.0
+
+    def test_top_level_offers_benefit(self, name, ladder_cache):
+        ladder = ladder_cache(name)
+        top = ladder.variant(ladder.max_level)
+        # The most approximate variant must be meaningfully faster or
+        # meaningfully decontending — otherwise escalating to it is useless.
+        assert top.time_factor < 0.97 or top.traffic_rate_factor < 0.95
+
+    def test_specs_resolvable_by_app(self, name, ladder_cache):
+        ladder = ladder_cache(name)
+        app = make_app(name)
+        for level in range(ladder.max_level + 1):
+            settings = app.materialize(ladder.variant(level).spec)
+            assert set(settings) == set(app.knobs())
+
+
+class TestPaperArchetypes:
+    """The Section 6.1 behavioral archetypes, at ladder level."""
+
+    def test_canneal_never_decontends(self, ladder_cache):
+        # "Insubstantial" contention relief (paper 6.1): nothing close to
+        # SNP's elision-driven 0.2-0.3 rates.
+        ladder = ladder_cache("canneal")
+        rates = [ladder.variant(i).traffic_rate_factor for i in range(1, ladder.max_level + 1)]
+        assert min(rates) > 0.8
+
+    def test_snp_has_a_strong_decontender(self, ladder_cache):
+        ladder = ladder_cache("snp")
+        rates = [ladder.variant(i).traffic_rate_factor for i in range(1, ladder.max_level + 1)]
+        assert min(rates) < 0.35
+
+    def test_water_spatial_is_vertical(self, ladder_cache):
+        ladder = ladder_cache("water_spatial")
+        times = [ladder.variant(i).time_factor for i in range(1, ladder.max_level + 1)]
+        assert min(times) > 0.85

@@ -1,0 +1,89 @@
+"""ServerNode allocation bookkeeping."""
+
+import pytest
+
+from repro.server.node import ServerNode
+from repro.server.resources import ResourceProfile
+from repro.server.tenant import Tenant, TenantKind
+
+
+def interactive(cores=8):
+    return Tenant("svc", TenantKind.INTERACTIVE, ResourceProfile(), cores)
+
+
+def batch(name="app", cores=8):
+    return Tenant(name, TenantKind.APPROXIMATE, ResourceProfile(), cores)
+
+
+class TestTenancy:
+    def test_add_and_lookup(self):
+        node = ServerNode()
+        node.add_tenant(interactive())
+        node.add_tenant(batch())
+        assert node.tenant("svc").kind is TenantKind.INTERACTIVE
+        assert node.interactive.name == "svc"
+        assert [t.name for t in node.approximate_tenants] == ["app"]
+
+    def test_duplicate_names_rejected(self):
+        node = ServerNode()
+        node.add_tenant(batch("x", 4))
+        with pytest.raises(ValueError):
+            node.add_tenant(batch("x", 4))
+
+    def test_two_interactive_rejected(self):
+        node = ServerNode()
+        node.add_tenant(interactive(4))
+        with pytest.raises(ValueError):
+            node.add_tenant(Tenant("svc2", TenantKind.INTERACTIVE, ResourceProfile(), 4))
+
+    def test_capacity_enforced(self):
+        node = ServerNode()
+        node.add_tenant(interactive(8))
+        node.add_tenant(batch("a", 8))
+        with pytest.raises(ValueError):
+            node.add_tenant(batch("b", 1))
+
+    def test_missing_tenant(self):
+        with pytest.raises(LookupError):
+            ServerNode().tenant("ghost")
+
+    def test_no_interactive(self):
+        node = ServerNode()
+        node.add_tenant(batch())
+        with pytest.raises(LookupError):
+            _ = node.interactive
+
+
+class TestCoreMovement:
+    def test_reclaim_preserves_total(self):
+        node = ServerNode()
+        node.add_tenant(interactive(8))
+        node.add_tenant(batch(cores=8))
+        node.reclaim_core("app", "svc")
+        assert node.tenant("svc").cores == 9
+        assert node.tenant("app").cores == 7
+        assert node.allocated_cores == 16
+
+    def test_cannot_empty_a_tenant(self):
+        node = ServerNode()
+        node.add_tenant(interactive(8))
+        node.add_tenant(batch(cores=1))
+        with pytest.raises(ValueError):
+            node.reclaim_core("app", "svc")
+
+
+class TestFairAllocation:
+    def test_one_app(self):
+        assert ServerNode().fair_allocation(1) == [8, 8]
+
+    def test_three_apps(self):
+        assert ServerNode().fair_allocation(3) == [4, 4, 4, 4]
+
+
+class TestPressureQuery:
+    def test_pressure_on_service(self):
+        node = ServerNode()
+        node.add_tenant(interactive(8))
+        node.add_tenant(batch(cores=8))
+        pressure = node.pressure_on("svc")
+        assert pressure.total >= 0.0

@@ -1,0 +1,53 @@
+"""Platform model: core accounting and fair shares."""
+
+import pytest
+
+from repro.server.platform import default_platform
+
+
+class TestAllocatableCores:
+    def test_sixteen_after_irq_reservation(self):
+        assert default_platform().allocatable_cores == 16
+
+
+class TestFairShare:
+    @pytest.mark.parametrize(
+        "tenants,expected",
+        [
+            (1, [16]),
+            (2, [8, 8]),
+            (3, [6, 5, 5]),
+            (4, [4, 4, 4, 4]),
+            (5, [4, 3, 3, 3, 3]),
+        ],
+    )
+    def test_split(self, tenants, expected):
+        assert default_platform().fair_share(tenants) == expected
+
+    def test_shares_sum_to_total(self):
+        platform = default_platform()
+        for tenants in range(1, 17):
+            assert sum(platform.fair_share(tenants)) == 16
+
+    def test_shares_differ_by_at_most_one(self):
+        platform = default_platform()
+        for tenants in range(1, 17):
+            shares = platform.fair_share(tenants)
+            assert max(shares) - min(shares) <= 1
+
+    def test_rejects_zero_tenants(self):
+        with pytest.raises(ValueError):
+            default_platform().fair_share(0)
+
+    def test_rejects_too_many_tenants(self):
+        with pytest.raises(ValueError):
+            default_platform().fair_share(17)
+
+
+class TestBandwidths:
+    def test_positive(self):
+        platform = default_platform()
+        assert platform.memory_bandwidth > 0
+        assert platform.disk_bandwidth > 0
+        assert platform.network_bandwidth > 0
+        assert platform.llc_bytes > 0

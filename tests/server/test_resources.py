@@ -1,0 +1,73 @@
+"""Resource profiles: validation and variant scaling."""
+
+import pytest
+
+from repro import units
+from repro.server.resources import ResourceProfile
+
+
+class TestValidation:
+    def test_cpu_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ResourceProfile(cpu_fraction=1.5)
+        with pytest.raises(ValueError):
+            ResourceProfile(cpu_fraction=-0.1)
+
+    def test_negative_demands_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceProfile(membw_per_core=-1.0)
+        with pytest.raises(ValueError):
+            ResourceProfile(llc_footprint_bytes=-1.0)
+
+    def test_zero_profile_allowed(self):
+        profile = ResourceProfile(
+            cpu_fraction=0.0,
+            llc_footprint_bytes=0.0,
+            llc_intensity=0.0,
+            membw_per_core=0.0,
+        )
+        assert profile.total_membw(8) == 0.0
+
+
+class TestScaling:
+    def test_traffic_scaling(self):
+        base = ResourceProfile(
+            llc_intensity=0.8, membw_per_core=units.gbytes_per_sec(4)
+        )
+        scaled = base.scaled(traffic_factor=0.5)
+        assert scaled.llc_intensity == pytest.approx(0.4)
+        assert scaled.membw_per_core == pytest.approx(units.gbytes_per_sec(2))
+        assert scaled.llc_footprint_bytes == base.llc_footprint_bytes
+
+    def test_footprint_scaling(self):
+        base = ResourceProfile(llc_footprint_bytes=units.mb(40))
+        scaled = base.scaled(footprint_factor=0.5)
+        assert scaled.llc_footprint_bytes == pytest.approx(units.mb(20))
+
+    def test_intensity_clamped_at_one(self):
+        base = ResourceProfile(llc_intensity=0.9)
+        assert base.scaled(traffic_factor=2.0).llc_intensity == 1.0
+
+    def test_identity_scaling(self):
+        base = ResourceProfile()
+        assert base.scaled() == base
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            ResourceProfile().scaled(traffic_factor=-1.0)
+
+
+class TestTotalMembw:
+    def test_scales_with_cores(self):
+        profile = ResourceProfile(membw_per_core=units.gbytes_per_sec(2))
+        assert profile.total_membw(8) == pytest.approx(8 * units.gbytes_per_sec(2))
+
+    def test_cpu_fraction_discounts(self):
+        profile = ResourceProfile(
+            cpu_fraction=0.5, membw_per_core=units.gbytes_per_sec(2)
+        )
+        assert profile.total_membw(8) == pytest.approx(4 * units.gbytes_per_sec(2))
+
+    def test_rejects_negative_cores(self):
+        with pytest.raises(ValueError):
+            ResourceProfile().total_membw(-1)

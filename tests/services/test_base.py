@@ -1,0 +1,93 @@
+"""InteractiveService capacity/inflation mechanics and BacklogTracker."""
+
+import pytest
+
+from repro.server.interference import PressureBreakdown
+from repro.services.base import BacklogTracker, InterferenceSensitivity
+from repro.services.memcached import Memcached
+from repro.services.nginx import Nginx
+
+
+class TestSaturationScaling:
+    def test_nominal_exact(self):
+        svc = Nginx()
+        assert svc.saturation_qps(8) == pytest.approx(710_000)
+
+    def test_more_cores_more_capacity(self):
+        svc = Nginx()
+        assert svc.saturation_qps(9) > svc.saturation_qps(8)
+
+    def test_amdahl_sublinear(self):
+        svc = Memcached()
+        double = svc.saturation_qps(16) / svc.saturation_qps(8)
+        assert 1.0 < double < 2.0
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            Nginx().saturation_qps(0)
+
+
+class TestInflation:
+    def test_no_pressure_is_identity(self):
+        sens = InterferenceSensitivity(llc=0.5, colocation_floor=0.2)
+        assert sens.inflation(PressureBreakdown()) == pytest.approx(1.0)
+
+    def test_floor_ramps_with_presence(self):
+        sens = InterferenceSensitivity(
+            llc=1.0, colocation_floor=0.2, presence_ref=0.1, max_inflation=2.0
+        )
+        tiny = sens.inflation(PressureBreakdown(llc=0.01))
+        saturated = sens.inflation(PressureBreakdown(llc=0.2))
+        # Tiny pressure: partial floor; saturated presence: full floor + term.
+        assert tiny == pytest.approx(1.0 + 0.2 * 0.1 + 0.01)
+        assert saturated == pytest.approx(1.0 + 0.2 + 0.2)
+
+    def test_ceiling(self):
+        sens = InterferenceSensitivity(llc=1.0, max_inflation=1.25)
+        assert sens.inflation(PressureBreakdown(llc=5.0)) == pytest.approx(1.25)
+
+    def test_monotone_in_pressure(self):
+        sens = InterferenceSensitivity(llc=0.4, membw_linear=0.2, colocation_floor=0.1)
+        low = sens.inflation(PressureBreakdown(llc=0.1))
+        high = sens.inflation(PressureBreakdown(llc=0.3))
+        assert high > low
+
+
+class TestUtilization:
+    def test_explicit_inflation_overrides(self):
+        svc = Nginx()
+        u = svc.utilization(355_000, 8, inflation=2.0)
+        assert u == pytest.approx(1.0)
+
+    def test_rejects_negative_qps(self):
+        with pytest.raises(ValueError):
+            Nginx().utilization(-1, 8)
+
+
+class TestBacklog:
+    def test_grows_under_overload(self):
+        tracker = BacklogTracker()
+        tracker.update(offered_qps=120, capacity_qps=100, dt=1.0)
+        assert tracker.backlog == pytest.approx(20)
+
+    def test_drains_under_slack(self):
+        tracker = BacklogTracker()
+        tracker.update(120, 100, 1.0)
+        tracker.update(80, 100, 0.5)
+        assert tracker.backlog == pytest.approx(10)
+
+    def test_never_negative(self):
+        tracker = BacklogTracker()
+        tracker.update(10, 1000, 5.0)
+        assert tracker.backlog == 0.0
+
+    def test_penalty(self):
+        tracker = BacklogTracker()
+        tracker.update(200, 100, 1.0)
+        assert tracker.penalty(100) == pytest.approx(1.0)
+
+    def test_reset(self):
+        tracker = BacklogTracker()
+        tracker.update(200, 100, 1.0)
+        tracker.reset()
+        assert tracker.backlog == 0.0

@@ -1,0 +1,81 @@
+"""Calibrated latency curve."""
+
+import numpy as np
+import pytest
+
+from repro.rng import generator
+from repro.services.latency import LatencyCurve, LatencyCurveParams
+
+
+@pytest.fixture()
+def curve():
+    return LatencyCurve(LatencyCurveParams(base_p99=1.0, qos=10.0))
+
+
+class TestShape:
+    def test_base_at_zero_load(self, curve):
+        assert curve.p99(0.0) == pytest.approx(1.0)
+
+    def test_qos_at_knee(self, curve):
+        knee = curve.params.knee_utilization
+        assert curve.p99(knee) == pytest.approx(10.0)
+
+    def test_monotone(self, curve):
+        grid = np.linspace(0, 0.99, 50)
+        values = [curve.p99(u) for u in grid]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_caps_at_max_utilization(self, curve):
+        assert curve.p99(1.5) == curve.p99(curve.params.max_utilization)
+
+    def test_negative_rejected(self, curve):
+        with pytest.raises(ValueError):
+            curve.p99(-0.1)
+
+    def test_mean_below_p99(self, curve):
+        assert curve.mean(0.5) < curve.p99(0.5)
+
+
+class TestInverse:
+    def test_roundtrip(self, curve):
+        for u in (0.2, 0.5, 0.875, 0.95):
+            assert curve.utilization_for_p99(curve.p99(u)) == pytest.approx(u)
+
+    def test_below_base(self, curve):
+        assert curve.utilization_for_p99(0.5) == 0.0
+
+
+class TestSampling:
+    def test_unbiased(self, curve):
+        rng = generator(1)
+        samples = [curve.sample_p99(0.7, rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(curve.p99(0.7), rel=0.02)
+
+    def test_fewer_requests_noisier(self, curve):
+        rng_a, rng_b = generator(2), generator(2)
+        few = np.std([curve.sample_p99(0.7, rng_a, requests_observed=20) for _ in range(2000)])
+        many = np.std([curve.sample_p99(0.7, rng_b, requests_observed=1e6) for _ in range(2000)])
+        assert few > many
+
+    def test_backlog_penalty_adds(self, curve):
+        rng = generator(3)
+        base = np.mean([curve.sample_p99(0.5, rng) for _ in range(500)])
+        rng = generator(3)
+        loaded = np.mean(
+            [curve.sample_p99(0.5, rng, backlog_penalty=5.0) for _ in range(500)]
+        )
+        assert loaded > base + 4.0
+
+
+class TestValidation:
+    def test_qos_must_exceed_base(self):
+        with pytest.raises(ValueError):
+            LatencyCurveParams(base_p99=10.0, qos=5.0)
+
+    def test_knee_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyCurveParams(base_p99=1.0, qos=10.0, knee_utilization=1.2)
+        with pytest.raises(ValueError):
+            LatencyCurveParams(
+                base_p99=1.0, qos=10.0, knee_utilization=0.99, max_utilization=0.98
+            )

@@ -1,0 +1,71 @@
+"""Open-loop load generators."""
+
+import pytest
+
+from repro.services.loadgen import BurstyLoad, ConstantLoad, DiurnalLoad, StepLoad
+
+
+class TestConstant:
+    def test_flat(self):
+        gen = ConstantLoad(500.0)
+        assert gen.qps_at(0) == gen.qps_at(100) == 500.0
+
+    def test_mean(self):
+        assert ConstantLoad(100.0).mean_qps(10.0) == pytest.approx(100.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLoad(-1.0)
+
+
+class TestStep:
+    def test_steps_apply_in_order(self):
+        gen = StepLoad(steps=((0.0, 100.0), (10.0, 300.0), (20.0, 50.0)))
+        assert gen.qps_at(5) == 100.0
+        assert gen.qps_at(10) == 300.0
+        assert gen.qps_at(15) == 300.0
+        assert gen.qps_at(25) == 50.0
+
+    def test_before_first_step_zero(self):
+        gen = StepLoad(steps=((5.0, 100.0),))
+        assert gen.qps_at(0.0) == 0.0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            StepLoad(steps=((10.0, 1.0), (5.0, 2.0)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StepLoad(steps=())
+
+
+class TestDiurnal:
+    def test_bounds(self):
+        gen = DiurnalLoad(low_qps=100, high_qps=300, period=60)
+        values = [gen.qps_at(t) for t in range(0, 120)]
+        assert min(values) >= 100 - 1e-9
+        assert max(values) <= 300 + 1e-9
+
+    def test_periodicity(self):
+        gen = DiurnalLoad(low_qps=0, high_qps=100, period=30)
+        assert gen.qps_at(7.0) == pytest.approx(gen.qps_at(37.0))
+
+    def test_mean_is_midpoint(self):
+        gen = DiurnalLoad(low_qps=100, high_qps=300, period=10)
+        assert gen.mean_qps(10.0, resolution=0.01) == pytest.approx(200.0, rel=0.02)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            DiurnalLoad(low_qps=300, high_qps=100, period=10)
+
+
+class TestBursty:
+    def test_burst_window(self):
+        gen = BurstyLoad(base_qps=100, burst_qps=500, burst_period=10, burst_duration=2)
+        assert gen.qps_at(1.0) == 500
+        assert gen.qps_at(5.0) == 100
+        assert gen.qps_at(11.0) == 500
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            BurstyLoad(base_qps=1, burst_qps=2, burst_period=5, burst_duration=6)

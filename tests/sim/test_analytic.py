@@ -1,0 +1,88 @@
+"""Closed-form queueing approximations."""
+
+import math
+
+import pytest
+
+from repro.sim.analytic import (
+    mm1_mean_wait,
+    mmc_erlang_c,
+    mmc_tail_latency,
+    mmc_utilization,
+    mmc_wait_quantile,
+)
+
+
+class TestUtilization:
+    def test_basic(self):
+        assert mmc_utilization(100, 0.01, 2) == pytest.approx(0.5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            mmc_utilization(1, 0.0, 1)
+        with pytest.raises(ValueError):
+            mmc_utilization(1, 0.1, 0)
+        with pytest.raises(ValueError):
+            mmc_utilization(-1, 0.1, 1)
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # For M/M/1, P(wait) = rho.
+        assert mmc_erlang_c(50, 0.01, 1) == pytest.approx(0.5)
+
+    def test_saturated_returns_one(self):
+        assert mmc_erlang_c(200, 0.01, 1) == 1.0
+
+    def test_decreases_with_servers_at_fixed_rho(self):
+        # Same utilization, more servers -> lower waiting probability.
+        p2 = mmc_erlang_c(160, 0.01, 2)
+        p8 = mmc_erlang_c(640, 0.01, 8)
+        assert p8 < p2
+
+    def test_low_load_near_zero(self):
+        assert mmc_erlang_c(1, 0.01, 8) < 1e-10
+
+
+class TestWaitQuantile:
+    def test_zero_when_wait_unlikely(self):
+        assert mmc_wait_quantile(1, 0.01, 8, 0.5) == 0.0
+
+    def test_infinite_when_saturated(self):
+        assert math.isinf(mmc_wait_quantile(200, 0.01, 1, 0.99))
+
+    def test_monotone_in_quantile(self):
+        q90 = mmc_wait_quantile(90, 0.01, 1, 0.90)
+        q99 = mmc_wait_quantile(90, 0.01, 1, 0.99)
+        assert q99 > q90
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            mmc_wait_quantile(1, 0.01, 1, 1.5)
+
+
+class TestTailLatency:
+    def test_exceeds_service_time(self):
+        p99 = mmc_tail_latency(50, 0.01, 1)
+        assert p99 > 0.01
+
+    def test_monotone_in_load(self):
+        values = [mmc_tail_latency(q, 0.01, 8) for q in (100, 400, 700, 790)]
+        assert values == sorted(values)
+
+    def test_saturated_is_infinite(self):
+        assert math.isinf(mmc_tail_latency(1000, 0.01, 8))
+
+    def test_deterministic_service_is_faster(self):
+        expo = mmc_tail_latency(600, 0.01, 8, service_scv=1.0)
+        det = mmc_tail_latency(600, 0.01, 8, service_scv=0.0)
+        assert det < expo
+
+
+class TestMM1MeanWait:
+    def test_textbook_value(self):
+        # rho=0.5: W_q = rho*S/(1-rho) = 0.01
+        assert mm1_mean_wait(50, 0.01) == pytest.approx(0.01)
+
+    def test_saturated(self):
+        assert math.isinf(mm1_mean_wait(100, 0.01))

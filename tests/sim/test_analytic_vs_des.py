@@ -1,0 +1,27 @@
+"""Cross-validation: the analytic M/M/c approximations against the
+event-driven simulator.  This pins the epoch-level latency models to
+request-level ground truth."""
+
+import pytest
+
+from repro.sim.analytic import mmc_erlang_c, mmc_tail_latency
+from repro.sim.distributions import Exponential
+from repro.sim.queueing import QueueSimulator
+
+
+@pytest.mark.parametrize("servers,qps", [(1, 70), (2, 150), (4, 340), (8, 700)])
+def test_p99_matches_des(servers, qps):
+    service_time = 0.01
+    sim = QueueSimulator(servers, Exponential(service_time), qps, seed=11)
+    metrics = sim.run(duration=250.0, warmup=20.0)
+    analytic = mmc_tail_latency(qps, service_time, servers, 0.99)
+    assert metrics.p99 == pytest.approx(analytic, rel=0.15)
+
+
+@pytest.mark.parametrize("servers,qps", [(1, 50), (4, 300), (8, 640)])
+def test_wait_probability_matches_des(servers, qps):
+    service_time = 0.01
+    sim = QueueSimulator(servers, Exponential(service_time), qps, seed=12)
+    metrics = sim.run(duration=250.0, warmup=20.0)
+    waited = (metrics.waits > 1e-9).mean()
+    assert waited == pytest.approx(mmc_erlang_c(qps, service_time, servers), abs=0.04)

@@ -1,0 +1,79 @@
+"""Service-time distributions: means, SCVs, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.rng import generator
+from repro.sim.distributions import Deterministic, Exponential, LogNormal, Pareto
+
+ALL_DISTS = [
+    Deterministic(2.0),
+    Exponential(2.0),
+    LogNormal(2.0, 0.5),
+    Pareto(2.0, 3.0),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+class TestCommonContract:
+    def test_sample_mean_matches(self, dist):
+        rng = generator(3)
+        samples = dist.sample(rng, size=200_000)
+        assert np.mean(samples) == pytest.approx(dist.mean, rel=0.05)
+
+    def test_samples_positive(self, dist):
+        rng = generator(4)
+        assert (dist.sample(rng, size=10_000) > 0).all()
+
+    def test_scalar_sample(self, dist):
+        value = dist.sample(generator(5))
+        assert np.isscalar(value) or np.ndim(value) == 0
+
+    def test_scaled_mean(self, dist):
+        assert dist.scaled(3.0).mean == pytest.approx(dist.mean * 3.0)
+
+
+class TestDeterministic:
+    def test_scv_zero(self):
+        assert Deterministic(1.0).scv == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Deterministic(0.0)
+
+
+class TestExponential:
+    def test_scv_one(self):
+        assert Exponential(5.0).scv == 1.0
+
+    def test_empirical_scv(self):
+        samples = Exponential(1.0).sample(generator(6), size=200_000)
+        assert np.var(samples) / np.mean(samples) ** 2 == pytest.approx(1.0, rel=0.05)
+
+
+class TestLogNormal:
+    def test_scv_formula(self):
+        dist = LogNormal(1.0, 0.5)
+        samples = dist.sample(generator(7), size=300_000)
+        empirical = np.var(samples) / np.mean(samples) ** 2
+        assert empirical == pytest.approx(dist.scv, rel=0.1)
+
+    def test_zero_sigma_degenerates(self):
+        dist = LogNormal(2.0, 0.0)
+        assert dist.scv == pytest.approx(0.0)
+        assert float(dist.sample(generator(8))) == pytest.approx(2.0)
+
+
+class TestPareto:
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            Pareto(1.0, 1.0)
+
+    def test_scv_undefined_for_small_alpha(self):
+        with pytest.raises(ValueError):
+            _ = Pareto(1.0, 1.5).scv
+
+    def test_heavy_tail(self):
+        light = Pareto(1.0, 5.0).sample(generator(9), size=100_000)
+        heavy = Pareto(1.0, 1.5).sample(generator(9), size=100_000)
+        assert np.percentile(heavy, 99.9) > np.percentile(light, 99.9)

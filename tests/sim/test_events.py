@@ -1,0 +1,103 @@
+"""DES kernel: ordering, cancellation, clock semantics."""
+
+import pytest
+
+from repro.sim.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_is_fifo(self):
+        queue = EventQueue()
+        order = []
+        for tag in ("first", "second", "third"):
+            queue.push(1.0, lambda t=tag: order.append(t))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["first", "second", "third"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append(1))
+        event.cancel()
+        assert queue.pop() is None
+        assert fired == []
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(5.0, lambda: None)
+        assert queue.peek_time() == 5.0
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 2.5]
+        assert sim.now == 2.5
+
+    def test_run_until_caps_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        final = sim.run(until=5.0)
+        assert final == 5.0
+        assert fired == []
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_even_when_empty(self):
+        sim = Simulator()
+        assert sim.run(until=3.0) == 3.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(0.5, lambda: None)
+
+    def test_stop_halts_dispatch(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]

@@ -1,0 +1,83 @@
+"""Event-driven queue simulator behaviors."""
+
+import pytest
+
+from repro.sim.distributions import Deterministic, Exponential
+from repro.sim.queueing import QueueSimulator
+
+
+class TestBasics:
+    def test_completes_requests(self):
+        sim = QueueSimulator(servers=2, service=Exponential(0.01), arrival_rate=100, seed=1)
+        metrics = sim.run(duration=20.0, warmup=2.0)
+        assert metrics.completed > 1000
+        assert metrics.throughput == pytest.approx(100, rel=0.1)
+
+    def test_latency_at_least_service_time(self):
+        sim = QueueSimulator(servers=4, service=Deterministic(0.01), arrival_rate=50, seed=2)
+        metrics = sim.run(duration=10.0)
+        assert metrics.latencies.min() >= 0.01 - 1e-12
+
+    def test_waits_zero_at_low_load(self):
+        sim = QueueSimulator(servers=8, service=Deterministic(0.001), arrival_rate=10, seed=3)
+        metrics = sim.run(duration=20.0)
+        assert metrics.waits.max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_reproducible(self):
+        a = QueueSimulator(2, Exponential(0.01), 100, seed=7).run(10.0)
+        b = QueueSimulator(2, Exponential(0.01), 100, seed=7).run(10.0)
+        assert a.completed == b.completed
+        assert a.p99 == pytest.approx(b.p99)
+
+    def test_seed_changes_stream(self):
+        a = QueueSimulator(2, Exponential(0.01), 100, seed=1).run(10.0)
+        b = QueueSimulator(2, Exponential(0.01), 100, seed=2).run(10.0)
+        assert a.p99 != pytest.approx(b.p99)
+
+
+class TestLoadResponse:
+    def test_latency_grows_with_load(self):
+        p99s = []
+        for qps in (200, 600, 760):
+            sim = QueueSimulator(8, Exponential(0.01), qps, seed=4)
+            p99s.append(sim.run(duration=60.0, warmup=5.0).p99)
+        assert p99s[0] < p99s[1] < p99s[2]
+
+    def test_more_servers_reduce_tail(self):
+        slow = QueueSimulator(8, Exponential(0.01), 700, seed=5).run(40.0, 5.0)
+        fast = QueueSimulator(10, Exponential(0.01), 700, seed=5).run(40.0, 5.0)
+        assert fast.p99 < slow.p99
+
+
+class TestCapacityBound:
+    def test_drops_when_bounded(self):
+        sim = QueueSimulator(
+            1, Deterministic(0.1), arrival_rate=100, queue_capacity=5, seed=6
+        )
+        metrics = sim.run(duration=5.0)
+        assert metrics.dropped > 0
+
+    def test_no_drops_when_unbounded(self):
+        sim = QueueSimulator(1, Deterministic(0.001), arrival_rate=100, seed=6)
+        assert sim.run(duration=5.0).dropped == 0
+
+
+class TestValidation:
+    def test_rejects_bad_servers(self):
+        with pytest.raises(ValueError):
+            QueueSimulator(0, Exponential(0.01), 100)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            QueueSimulator(1, Exponential(0.01), 0)
+
+    def test_rejects_bad_duration(self):
+        sim = QueueSimulator(1, Exponential(0.01), 10)
+        with pytest.raises(ValueError):
+            sim.run(duration=0.0)
+
+    def test_empty_metrics_nan(self):
+        sim = QueueSimulator(1, Exponential(10.0), arrival_rate=0.001, seed=8)
+        metrics = sim.run(duration=0.5)
+        assert metrics.completed == 0
+        assert metrics.mean_latency != metrics.mean_latency  # NaN

@@ -1,0 +1,64 @@
+"""Platform / QoS configuration (paper Table 1 + Section 5)."""
+
+import pytest
+
+from repro import units
+from repro.config import DEFAULT_CONFIG, PlatformSpec, QosTargets, RuntimeDefaults
+
+
+class TestPlatformSpec:
+    def test_table1_core_counts(self):
+        spec = PlatformSpec()
+        assert spec.sockets == 2
+        assert spec.cores_per_socket == 22
+        assert spec.total_physical_cores == 44
+        assert spec.threads_per_core == 2
+
+    def test_irq_reservation(self):
+        spec = PlatformSpec()
+        assert spec.irq_cores == 6
+        assert spec.usable_cores_per_socket == 16
+
+    def test_llc_size(self):
+        spec = PlatformSpec()
+        assert spec.llc_bytes == units.mb(55)
+        assert spec.llc_ways == 20
+
+    def test_memory(self):
+        spec = PlatformSpec()
+        assert spec.memory_bytes == units.gb(128)
+        assert spec.memory_channels == 8
+
+    def test_frequencies(self):
+        spec = PlatformSpec()
+        assert spec.base_frequency_ghz == pytest.approx(2.2)
+        assert spec.max_turbo_frequency_ghz == pytest.approx(3.6)
+
+
+class TestQosTargets:
+    def test_paper_targets(self):
+        qos = QosTargets()
+        assert qos.nginx == pytest.approx(units.msec(10))
+        assert qos.memcached == pytest.approx(units.usec(200))
+        assert qos.mongodb == pytest.approx(units.msec(100))
+
+    def test_relative_strictness(self):
+        qos = QosTargets()
+        assert qos.memcached < qos.nginx < qos.mongodb
+
+
+class TestRuntimeDefaults:
+    def test_section4_defaults(self):
+        defaults = RuntimeDefaults()
+        assert defaults.decision_interval == pytest.approx(1.0)
+        assert defaults.slack_threshold == pytest.approx(0.10)
+        assert defaults.max_inaccuracy_pct == pytest.approx(5.0)
+
+    def test_load_is_75_to_80_pct(self):
+        assert 0.75 <= RuntimeDefaults().load_fraction <= 0.80
+
+
+def test_default_config_bundle():
+    assert DEFAULT_CONFIG.platform.total_physical_cores == 44
+    assert DEFAULT_CONFIG.qos.memcached == pytest.approx(units.usec(200))
+    assert DEFAULT_CONFIG.seed == 0x517A

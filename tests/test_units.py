@@ -1,0 +1,41 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestTime:
+    def test_usec_roundtrip(self):
+        assert units.to_usec(units.usec(150)) == pytest.approx(150)
+
+    def test_msec_roundtrip(self):
+        assert units.to_msec(units.msec(10)) == pytest.approx(10)
+
+    def test_usec_is_seconds(self):
+        assert units.usec(1_000_000) == pytest.approx(1.0)
+
+    def test_msec_is_seconds(self):
+        assert units.msec(1000) == pytest.approx(1.0)
+
+    def test_ordering(self):
+        assert units.usec(1) < units.msec(1) < units.SEC
+
+
+class TestSizes:
+    def test_mb(self):
+        assert units.mb(1) == 1024 * 1024
+
+    def test_gb(self):
+        assert units.gb(1) == 1024**3
+
+    def test_kb_constant(self):
+        assert units.KB == 1024
+
+
+class TestRates:
+    def test_gbps_is_bytes_per_second(self):
+        assert units.gbps(8) == pytest.approx(1e9)
+
+    def test_memory_bandwidth(self):
+        assert units.gbytes_per_sec(1) == pytest.approx(1e9)

@@ -1,0 +1,44 @@
+"""Text table / sparkline rendering."""
+
+import numpy as np
+
+from repro.viz.tables import format_table, format_timeline
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["long-name", 22.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # equal widths
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1234567.0]])
+        assert "1,234,567" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+
+class TestFormatTimeline:
+    def test_width_respected(self):
+        line = format_timeline(np.linspace(0, 1, 500), width=40)
+        body = line.split("|")[1]
+        assert len(body) == 40
+
+    def test_short_series_uncompressed(self):
+        line = format_timeline(np.asarray([0.0, 1.0]), width=40)
+        body = line.split("|")[1]
+        assert len(body) == 2
+
+    def test_label(self):
+        line = format_timeline(np.asarray([1.0]), label="p99")
+        assert line.startswith("p99:")
+
+    def test_empty(self):
+        assert "(empty)" in format_timeline(np.asarray([]))
+
+    def test_ceiling_clamps(self):
+        line = format_timeline(np.asarray([0.5, 10.0]), ceiling=1.0)
+        assert line.split("|")[1][-1] == "@"
