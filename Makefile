@@ -1,0 +1,24 @@
+# Developer entry points.  The tier-1 command is the contract: it must stay
+# green on every commit (see ROADMAP.md).
+
+PY ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-figs lint
+
+## Tier-1: fast unit/integration suite (the gate for every PR).
+test:
+	$(PY) -m pytest -x -q
+
+## Sweep-engine benchmark: measures parallel/cached/vectorized speedups and
+## appends a trajectory entry to BENCH_sweep.json.
+bench:
+	$(PY) -m pytest benchmarks/test_sweep_engine.py -m benchmark -q
+
+## Full figure-reproduction drivers (Figs. 1-10, ~minutes).
+bench-figs:
+	$(PY) -m pytest benchmarks -m benchmark -q
+
+## Import/syntax floor: byte-compile everything (no linter is vendored).
+lint:
+	$(PY) -m compileall -q src tests benchmarks examples

@@ -1,17 +1,25 @@
 """Shared machinery for the figure/table benchmarks.
 
-Single-app (service, app) precise/pliant run pairs are cached process-wide
-so Fig. 5, Fig. 7 and Fig. 10 share work within one pytest session.
+All colocation runs go through one process-wide :class:`SweepEngine`
+backed by the on-disk :class:`SweepCache`, so figure drivers share work
+within a pytest session (via the ``lru_cache`` layer) *and* across
+sessions (via the content-addressed result cache) — a benchmark rerun
+with unchanged configs is almost entirely disk reads.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from functools import lru_cache
+from pathlib import Path
 
 from repro.apps import ALL_APP_NAMES, make_app
-from repro.cluster import compare_policies, ladder_for
-from repro.core import PliantPolicy, PrecisePolicy
+from repro.cas import atomic_write_bytes
+from repro.cluster import ladder_for
 from repro.core.runtime import ColocationConfig, ColocationResult
+from repro.sweep import Scenario, SweepCache, SweepEngine
 
 SERVICES = ("nginx", "memcached", "mongodb")
 SEED = 2
@@ -23,6 +31,12 @@ SERVICE_UNITS = {
     "mongodb": (1e3, "ms"),
 }
 
+#: Trajectory file the sweep benchmarks append their measurements to.
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: Process-wide engine: parallel across cores, memoized on disk.
+ENGINE = SweepEngine(cache=SweepCache())
+
 
 def config(**kwargs) -> ColocationConfig:
     merged = {"seed": SEED}
@@ -30,25 +44,26 @@ def config(**kwargs) -> ColocationConfig:
     return ColocationConfig(**merged)
 
 
+def scenario(service: str, apps, policy: str = "pliant", **kwargs) -> Scenario:
+    """A benchmark scenario: seed 2, paper-default knobs unless overridden."""
+    merged = {"seed": SEED}
+    merged.update(kwargs)
+    return Scenario(service=service, apps=tuple(apps), policy=policy, **merged)
+
+
 @lru_cache(maxsize=256)
 def run_pair(service: str, app: str) -> tuple[ColocationResult, ColocationResult]:
     """(precise, pliant) results for a single-app colocation at 77.5% load."""
-    results = compare_policies(
-        service,
-        [app],
-        [PrecisePolicy(), PliantPolicy(seed=SEED)],
-        config=config(),
+    outcomes = ENGINE.run(
+        [scenario(service, (app,), "precise"), scenario(service, (app,), "pliant")]
     )
-    return results["precise"], results["pliant"]
+    return outcomes[0].result, outcomes[1].result
 
 
 @lru_cache(maxsize=1024)
 def run_pliant_mix(service: str, apps: tuple[str, ...]) -> ColocationResult:
     """Pliant run for a multi-app mix."""
-    from repro.cluster import build_engine
-
-    engine = build_engine(service, list(apps), PliantPolicy(seed=SEED), config=config())
-    return engine.run()
+    return ENGINE.run_one(scenario(service, apps, "pliant"))
 
 
 def app_overhead(app_name: str) -> float:
@@ -59,14 +74,51 @@ def ladder(app_name: str):
     return ladder_for(app_name, seed=0)
 
 
+def record_bench(label: str, payload: dict) -> None:
+    """Append one measurement entry to the BENCH_sweep.json trajectory.
+
+    The read-modify-write runs under an exclusive file lock so entries
+    from concurrent benchmark processes are never lost; the write itself
+    is atomic so a crash never tears the trajectory.
+    """
+    import fcntl
+
+    lock_path = BENCH_PATH.with_suffix(".lock")
+    with open(lock_path, "w") as lock:
+        fcntl.flock(lock, fcntl.LOCK_EX)
+        doc = {"benchmark": "sweep-engine", "runs": []}
+        if BENCH_PATH.exists():
+            try:
+                loaded = json.loads(BENCH_PATH.read_text())
+                if isinstance(loaded.get("runs"), list):
+                    doc = loaded
+            except (OSError, ValueError):
+                pass  # unreadable trajectory: start fresh rather than crash
+        doc["runs"].append(
+            {
+                "label": label,
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "cpu_count": os.cpu_count(),
+                **payload,
+            }
+        )
+        atomic_write_bytes(
+            BENCH_PATH, (json.dumps(doc, indent=1) + "\n").encode()
+        )
+
+
 __all__ = [
     "ALL_APP_NAMES",
+    "BENCH_PATH",
+    "ENGINE",
     "SEED",
     "SERVICES",
     "SERVICE_UNITS",
     "app_overhead",
     "config",
     "ladder",
+    "record_bench",
     "run_pair",
     "run_pliant_mix",
+    "scenario",
 ]

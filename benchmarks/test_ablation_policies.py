@@ -17,6 +17,10 @@ from repro.viz import format_table
 
 from benchmarks._common import config
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 PAIRS = (("memcached", "canneal"), ("nginx", "kmeans"), ("mongodb", "snp"))
 
 

@@ -18,6 +18,10 @@ from benchmarks._common import (
     run_pliant_mix,
 )
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 
 def _results_for(service):
     results = [run_pair(service, app)[1] for app in ALL_APP_NAMES]

@@ -19,6 +19,8 @@ from repro.viz import format_table
 
 from benchmarks._common import SERVICES, config, ladder
 
+pytestmark = pytest.mark.benchmark
+
 
 def _static_ratio(service: str, app: str, level: int) -> float:
     engine = build_engine(

@@ -10,6 +10,10 @@ from repro.viz import format_timeline
 
 from benchmarks._common import SERVICES, SERVICE_UNITS, ladder, run_pair
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 FIG4_APPS = ("canneal", "raytrace", "bayesian", "snp")
 
 

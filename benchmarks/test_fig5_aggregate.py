@@ -19,6 +19,10 @@ from benchmarks._common import (
     run_pair,
 )
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 
 def test_fig5_aggregate(benchmark, capsys):
     def full_matrix():

@@ -9,6 +9,10 @@ from repro.viz import format_timeline
 
 from benchmarks._common import SERVICES, ladder, run_pliant_mix
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 MIX = ("canneal", "bayesian")
 
 

@@ -21,6 +21,10 @@ from benchmarks._common import (
     run_pliant_mix,
 )
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 _FULL = os.environ.get("REPRO_FULL_MIXES") == "1"
 _SAMPLES = {2: None if _FULL else 18, 3: None if _FULL else 14}
 

@@ -8,31 +8,34 @@ still meets QoS (paper: NGINX 340K QPS = 48%, memcached 280K = 46%,
 MongoDB 310 = 77%).
 """
 
-import numpy as np
+import time
 
-from repro.cluster import build_engine
-from repro.core import PliantPolicy, PrecisePolicy
+import numpy as np
+import pytest
+
 from repro.services import make_service
+from repro.sweep import SweepGrid
 from repro.viz import format_table
 
-from benchmarks._common import SERVICES, config
+from benchmarks._common import ENGINE, SEED, SERVICES, record_bench, scenario
+
+pytestmark = pytest.mark.benchmark
 
 SWEEP_APPS = ("canneal", "kmeans", "snp", "water_spatial", "hmmer", "plsa")
 LOADS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
 
 def _run(service, app, load, policy):
-    engine = build_engine(
-        service, [app], policy, config=config(load_fraction=load)
+    return ENGINE.run_one(
+        scenario(service, (app,), policy, load_fraction=float(load))
     )
-    return engine.run()
 
 
 def _precise_max_load(service, app="canneal"):
     """Highest load fraction (2% steps) where precise colocation meets QoS."""
     best = 0.0
     for load in np.arange(0.30, 1.01, 0.02):
-        result = _run(service, app, float(load), PrecisePolicy())
+        result = _run(service, app, float(load), "precise")
         if result.qos_met:
             best = float(load)
         else:
@@ -41,17 +44,38 @@ def _precise_max_load(service, app="canneal"):
 
 
 def test_fig8_load_sweep(benchmark, capsys):
-    def sweep():
-        table = {}
-        for service in SERVICES:
-            for app in SWEEP_APPS:
-                for load in LOADS:
-                    table[(service, app, load)] = _run(
-                        service, app, load, PliantPolicy(seed=2)
-                    )
-        return table
+    grid = SweepGrid(
+        services=SERVICES,
+        app_mixes=tuple((app,) for app in SWEEP_APPS),
+        policies=("pliant",),
+        load_fractions=LOADS,
+        base=scenario(SERVICES[0], (SWEEP_APPS[0],)),
+        seeds=(SEED,),
+    )
 
-    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def sweep():
+        outcomes = ENGINE.run(grid)
+        return {
+            (o.scenario.service, o.scenario.apps[0], o.scenario.load_fraction): o
+            for o in outcomes
+        }
+
+    start = time.perf_counter()
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    table = {key: o.result for key, o in outcomes.items()}
+    cache_hits = sum(1 for o in outcomes.values() if o.from_cache)
+    record_bench(
+        "fig8_load_sweep",
+        {
+            "grid_size": len(grid),
+            "wall_clock_s": round(elapsed, 3),
+            "cache_hits": cache_hits,
+            "scenario_compute_s": round(
+                sum(o.duration for o in outcomes.values()), 3
+            ),
+        },
+    )
 
     with capsys.disabled():
         print()

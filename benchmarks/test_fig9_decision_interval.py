@@ -11,6 +11,10 @@ from repro.viz import format_table
 
 from benchmarks._common import config
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 FIG9_APPS = (
     "fluidanimate",
     "canneal",

@@ -11,6 +11,10 @@ from repro.server import InterferenceModel, ResourceProfile
 from repro.server.platform import default_platform
 from repro.viz import format_table
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 
 def test_table1_platform(benchmark, capsys):
     spec = PlatformSpec()

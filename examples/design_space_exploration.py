@@ -30,7 +30,8 @@ def main() -> None:
         print(f"  {site.knob_name:22s} {100 * site.work_share:5.1f}% |{bar}")
 
     print("\n== measuring every variant (this runs the real kernel) ==")
-    result = DesignSpaceExplorer(app, seed=0).explore()
+    explorer = DesignSpaceExplorer(app, seed=0)
+    result = explorer.explore()
     rows = [
         [
             "*" if variant in result.selected else "",
@@ -60,6 +61,11 @@ def main() -> None:
             f"  level {level}: inaccuracy {v.inaccuracy_pct:4.1f}%  "
             f"time {v.time_factor:.2f}x  contention {v.traffic_rate_factor:.2f}x"
         )
+    print(
+        "\nMeasurements are cached content-addressed (app, seed, knob grid,"
+        "\nquality threshold); corrupted entries are dropped and remeasured."
+        "\nRe-run this example to see the cache hit."
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,38 @@
+"""Content-addressed storage primitives.
+
+Dependency-free helpers shared by every on-disk cache in the repo (the
+design-space exploration cache and the sweep result cache): stable
+content hashing for keys and atomic file writes so a crashed process
+never leaves a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+def stable_hash(payload: Any, length: int = 32) -> str:
+    """Hex digest of a JSON-serializable payload, stable across runs."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory tmp file + rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -1,15 +1,22 @@
-"""Parameter sweeps and mix enumeration for the evaluation figures."""
+"""Parameter sweeps and mix enumeration for the evaluation figures.
+
+The axis-shaped helpers (:func:`load_sweep`, :func:`interval_sweep`) are
+thin fronts over :class:`repro.sweep.SweepEngine`: they build a
+one-axis :class:`repro.sweep.SweepGrid` and hand it to an engine.  The
+default engine runs inline and uncached (the old contract of these
+helpers); pass ``engine=SweepEngine(cache=SweepCache())`` to fan out
+across cores and memoize results on disk.
+"""
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
 
-from repro.core.policy import PliantPolicy, RuntimePolicy
 from repro.core.runtime import ColocationConfig, ColocationResult
-from repro.cluster.colocation import build_engine
 from repro.rng import child_generator
-from repro.services import make_service
+from repro.sweep.engine import SweepEngine
+from repro.sweep.grid import Scenario, SweepGrid
 
 
 @dataclass(frozen=True)
@@ -20,32 +27,83 @@ class SweepPoint:
     result: ColocationResult
 
 
+def _scenario_base(
+    service_name: str,
+    app_names: tuple[str, ...],
+    base: ColocationConfig,
+    policy: str,
+) -> Scenario:
+    return Scenario(
+        service=service_name,
+        apps=tuple(app_names),
+        policy=policy,
+        load_fraction=base.load_fraction,
+        decision_interval=base.decision_interval,
+        monitor_epoch=base.monitor_epoch,
+        slack_threshold=base.slack_threshold,
+        horizon=base.horizon,
+        seed=base.seed,
+        stop_when_apps_done=base.stop_when_apps_done,
+    )
+
+
+def _legacy_factory_sweep(
+    service_name: str,
+    app_names: tuple[str, ...],
+    scenarios: list[Scenario],
+    policy_factory,
+) -> list[ColocationResult]:
+    """Run scenarios with a caller-supplied policy factory, in process.
+
+    A factory can close over arbitrary constructor arguments that the
+    declarative :data:`POLICY_REGISTRY` path cannot reconstruct, so each
+    point gets a fresh ``policy_factory()`` instance and runs inline —
+    exact legacy semantics, at the cost of fan-out and caching (use
+    policy *names* on a grid to get those).
+    """
+    from repro.cluster.colocation import build_engine
+
+    return [
+        build_engine(
+            service_name, app_names, policy_factory(), config=scenario.config()
+        ).run()
+        for scenario in scenarios
+    ]
+
+
 def load_sweep(
     service_name: str,
     app_names: tuple[str, ...],
     load_fractions: tuple[float, ...] = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
     policy_factory=None,
     base_config: ColocationConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> list[SweepPoint]:
     """Fig. 8: sweep offered load as a fraction of saturation."""
     base = base_config or ColocationConfig()
-    points = []
-    for load in load_fractions:
-        config = ColocationConfig(
-            load_fraction=load,
-            decision_interval=base.decision_interval,
-            monitor_epoch=base.monitor_epoch,
-            slack_threshold=base.slack_threshold,
-            horizon=base.horizon,
-            seed=base.seed,
-            stop_when_apps_done=base.stop_when_apps_done,
+    grid = SweepGrid(
+        services=(service_name,),
+        app_mixes=(tuple(app_names),),
+        policies=("pliant",),
+        load_fractions=tuple(float(v) for v in load_fractions),
+        decision_intervals=(base.decision_interval,),
+        seeds=(base.seed,),
+        base=_scenario_base(service_name, app_names, base, "pliant"),
+    )
+    scenarios = grid.scenarios()
+    if policy_factory is not None:
+        results = _legacy_factory_sweep(
+            service_name, app_names, scenarios, policy_factory
         )
-        policy = (
-            policy_factory() if policy_factory else PliantPolicy(seed=base.seed)
-        )
-        engine = build_engine(service_name, app_names, policy, config=config)
-        points.append(SweepPoint(value=load, result=engine.run()))
-    return points
+        return [
+            SweepPoint(value=s.load_fraction, result=r)
+            for s, r in zip(scenarios, results)
+        ]
+    outcomes = (engine or SweepEngine(workers=1)).run(grid)
+    return [
+        SweepPoint(value=o.scenario.load_fraction, result=o.result)
+        for o in outcomes
+    ]
 
 
 def interval_sweep(
@@ -53,25 +111,24 @@ def interval_sweep(
     app_names: tuple[str, ...],
     intervals: tuple[float, ...] = (0.2, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0),
     base_config: ColocationConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> list[SweepPoint]:
     """Fig. 9: sweep Pliant's decision interval."""
     base = base_config or ColocationConfig()
-    points = []
-    for interval in intervals:
-        config = ColocationConfig(
-            load_fraction=base.load_fraction,
-            decision_interval=interval,
-            monitor_epoch=base.monitor_epoch,
-            slack_threshold=base.slack_threshold,
-            horizon=base.horizon,
-            seed=base.seed,
-            stop_when_apps_done=base.stop_when_apps_done,
-        )
-        engine = build_engine(
-            service_name, app_names, PliantPolicy(seed=base.seed), config=config
-        )
-        points.append(SweepPoint(value=interval, result=engine.run()))
-    return points
+    grid = SweepGrid(
+        services=(service_name,),
+        app_mixes=(tuple(app_names),),
+        policies=("pliant",),
+        load_fractions=(base.load_fraction,),
+        decision_intervals=tuple(float(v) for v in intervals),
+        seeds=(base.seed,),
+        base=_scenario_base(service_name, app_names, base, "pliant"),
+    )
+    outcomes = (engine or SweepEngine(workers=1)).run(grid)
+    return [
+        SweepPoint(value=o.scenario.decision_interval, result=o.result)
+        for o in outcomes
+    ]
 
 
 def combination_mixes(

@@ -8,7 +8,6 @@ kernel-execution cost once per machine.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -18,6 +17,7 @@ from repro.apps.base import ApproximableApp, MeasuredVariant, VariantSpec
 from repro.exploration.pareto import ApproxLadder, pareto_select
 from repro.exploration.profiler import WorkProfiler
 from repro.exploration.space import enumerate_variants
+from repro.cas import atomic_write_bytes, stable_hash
 
 _CACHE_ENV = "REPRO_EXPLORATION_CACHE"
 
@@ -69,14 +69,13 @@ class DesignSpaceExplorer:
 
     def _grid_fingerprint(self) -> str:
         knobs = self._app.knobs()
-        blob = json.dumps(
+        return stable_hash(
             {
                 name: [repr(v) for v in knob.all_values()]
                 for name, knob in sorted(knobs.items())
             },
-            sort_keys=True,
+            length=16,
         )
-        return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     def _cache_path(self) -> Path:
         key = (
@@ -88,11 +87,16 @@ class DesignSpaceExplorer:
     # -- exploration ------------------------------------------------------------
 
     def explore(self, force: bool = False) -> ExplorationResult:
-        """Measure every variant (cached) and select the ladder."""
+        """Measure every variant (cached) and select the ladder.
+
+        Corrupted cache entries (truncated writes, foreign payloads) are
+        deleted and remeasured instead of crashing the run.
+        """
         path = self._cache_path()
+        variants = None
         if not force and path.exists():
             variants = _load_variants(path, self._app.name)
-        else:
+        if variants is None:
             variants = self._measure_all()
             _store_variants(path, variants)
         selected = pareto_select(variants, self._max_inaccuracy)
@@ -117,7 +121,6 @@ class DesignSpaceExplorer:
 
 
 def _store_variants(path: Path, variants: list[MeasuredVariant]) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = [
         {
             "settings": dict(v.spec),
@@ -128,19 +131,27 @@ def _store_variants(path: Path, variants: list[MeasuredVariant]) -> None:
         }
         for v in variants
     ]
-    path.write_text(json.dumps(payload, indent=1))
+    atomic_write_bytes(path, json.dumps(payload, indent=1).encode("utf-8"))
 
 
-def _load_variants(path: Path, app_name: str) -> list[MeasuredVariant]:
-    payload = json.loads(path.read_text())
-    return [
-        MeasuredVariant(
-            app_name=app_name,
-            spec=VariantSpec(entry["settings"]),
-            inaccuracy_pct=entry["inaccuracy_pct"],
-            time_factor=entry["time_factor"],
-            traffic_rate_factor=entry["traffic_rate_factor"],
-            footprint_factor=entry["footprint_factor"],
-        )
-        for entry in payload
-    ]
+def _load_variants(path: Path, app_name: str) -> list[MeasuredVariant] | None:
+    """Parse a cache entry; on any corruption, delete it and return None."""
+    try:
+        payload = json.loads(path.read_text())
+        return [
+            MeasuredVariant(
+                app_name=app_name,
+                spec=VariantSpec(entry["settings"]),
+                inaccuracy_pct=entry["inaccuracy_pct"],
+                time_factor=entry["time_factor"],
+                traffic_rate_factor=entry["traffic_rate_factor"],
+                footprint_factor=entry["footprint_factor"],
+            )
+            for entry in payload
+        ]
+    except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None

@@ -26,8 +26,12 @@ class ServiceDistribution(ABC):
         """Squared coefficient of variation Var/Mean^2."""
 
     @abstractmethod
-    def sample(self, rng: np.random.Generator, size: int | None = None):
-        """Draw one value (``size=None``) or an array of ``size`` values."""
+    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] | None = None):
+        """Draw one value (``size=None``) or an array of ``size`` values.
+
+        ``size`` may be a tuple: batch consumers (the vectorized queueing
+        path) pre-sample whole (grid x requests) matrices in one call.
+        """
 
     def scaled(self, factor: float) -> "ServiceDistribution":
         """Return a copy with the mean scaled by ``factor``."""
@@ -50,7 +54,7 @@ class Deterministic(ServiceDistribution):
     def scv(self) -> float:
         return 0.0
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] | None = None):
         if size is None:
             return self._value
         return np.full(size, self._value)
@@ -78,7 +82,7 @@ class Exponential(ServiceDistribution):
     def scv(self) -> float:
         return 1.0
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] | None = None):
         return rng.exponential(self._mean, size=size)
 
     def scaled(self, factor: float) -> "Exponential":
@@ -112,7 +116,7 @@ class LogNormal(ServiceDistribution):
     def scv(self) -> float:
         return math.exp(self._sigma * self._sigma) - 1.0
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] | None = None):
         return rng.lognormal(self._mu, self._sigma, size=size)
 
     def scaled(self, factor: float) -> "LogNormal":
@@ -157,7 +161,7 @@ class Pareto(ServiceDistribution):
         )
         return variance / (self._mean**2)
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] | None = None):
         # numpy's pareto returns (X/xm - 1); rescale to classic Pareto.
         return self._xm * (1.0 + rng.pareto(self._alpha, size=size))
 

@@ -1,0 +1,40 @@
+"""Parallel experiment/sweep subsystem.
+
+The evaluation figures all reduce to sweeping a grid of colocation
+scenarios — (service, app mix, load, policy, decision interval, seed) —
+and aggregating the per-scenario :class:`~repro.core.runtime.ColocationResult`.
+This package makes that grid a first-class object:
+
+* :mod:`repro.sweep.grid` — declarative scenario grids
+  (:class:`Scenario`, :class:`SweepGrid`),
+* :mod:`repro.sweep.cache` — on-disk content-addressed result cache
+  (:class:`SweepCache`), keyed by a stable hash of the scenario config,
+* :mod:`repro.sweep.engine` — :class:`SweepEngine`, which fans scenarios
+  out across worker processes with deterministic per-scenario seeding and
+  memoizes completed results through the cache.
+
+Results are bit-identical between serial and parallel execution because
+every scenario derives its random streams purely from its own config
+(see :mod:`repro.rng`) — never from execution order or wall-clock time.
+"""
+
+from repro.sweep.cache import SweepCache, default_sweep_cache_dir, stable_hash
+from repro.sweep.engine import (
+    SweepEngine,
+    SweepOutcome,
+    results_identical,
+    run_scenario,
+)
+from repro.sweep.grid import Scenario, SweepGrid
+
+__all__ = [
+    "Scenario",
+    "SweepCache",
+    "SweepEngine",
+    "SweepGrid",
+    "SweepOutcome",
+    "default_sweep_cache_dir",
+    "results_identical",
+    "run_scenario",
+    "stable_hash",
+]

@@ -1,0 +1,138 @@
+"""On-disk content-addressed result cache.
+
+Sweep results are memoized under a key derived from a stable hash of the
+scenario's canonical config payload, so any change to the scenario —
+load, seed, policy, app mix, horizon — lands in a different entry, while
+re-running the identical sweep is a pure disk read.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` — pickled
+:class:`~repro.core.runtime.ColocationResult` payloads, written
+atomically (tmp file + rename) so a crashed worker never leaves a
+half-written entry behind.  Reads treat *any* failure to load (truncated
+file, foreign pickle, version skew) as a miss: the corrupted entry is
+deleted and the scenario recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from functools import lru_cache
+from pathlib import Path
+
+from repro.cas import atomic_write_bytes, stable_hash
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SweepCache",
+    "atomic_write_bytes",
+    "default_sweep_cache_dir",
+    "stable_hash",
+]
+
+#: Bump when the pickled payload layout changes; old entries become misses.
+FORMAT_VERSION = 1
+
+_CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+
+def default_sweep_cache_dir() -> Path:
+    env = os.environ.get(_CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-pliant" / "sweeps"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file.
+
+    Folded into cache keys so a simulator code change can never serve
+    stale pre-change results — the memoization contract is "same config
+    *and* same code".  Computed once per process (~100 small files).
+    """
+    import repro
+
+    package_root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for source in sorted(package_root.rglob("*.py")):
+        digest.update(str(source.relative_to(package_root)).encode())
+        digest.update(source.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+class SweepCache:
+    """Content-addressed store of completed scenario results."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self._root = Path(root) if root is not None else default_sweep_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def key(self, scenario) -> str:
+        """Content address of one scenario's result."""
+        return stable_hash(
+            {
+                "format": FORMAT_VERSION,
+                "code": code_fingerprint(),
+                "scenario": scenario.key_payload(),
+            }
+        )
+
+    def path(self, key: str) -> Path:
+        return self._root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Return the cached result or ``None``; corrupt entries self-heal."""
+        path = self.path(key)
+        try:
+            data = path.read_bytes()
+            envelope = pickle.loads(data)
+            if envelope["format"] != FORMAT_VERSION:
+                raise ValueError("cache format version mismatch")
+            result = envelope["result"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated write, foreign payload, version skew: drop and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        envelope = {"format": FORMAT_VERSION, "result": result}
+        atomic_write_bytes(
+            self.path(key), pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def entry_count(self) -> int:
+        if not self._root.exists():
+            return 0
+        return sum(1 for _ in self._root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self._root.exists():
+            return 0
+        for entry in self._root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

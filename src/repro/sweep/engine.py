@@ -1,0 +1,226 @@
+"""The parallel sweep engine.
+
+``SweepEngine.run`` takes a :class:`~repro.sweep.grid.SweepGrid` (or any
+iterable of scenarios), satisfies what it can from the result cache, fans
+the misses out across worker processes, and returns outcomes in grid
+order.  Scenario results are a pure function of the scenario config —
+every random stream inside a run derives from the scenario's own seed via
+:mod:`repro.rng` — so serial and parallel execution are bit-identical and
+caching is sound.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.baselines import (
+    CoreReclaimOnlyPolicy,
+    PrecisePolicy,
+    StaticLevelPolicy,
+    StaticMostApproxPolicy,
+)
+from repro.core.policy import PliantPolicy, RuntimePolicy
+from repro.core.runtime import ColocationResult
+from repro.sweep.cache import SweepCache
+from repro.sweep.grid import Scenario, SweepGrid
+
+#: Builders from (scenario, kwargs) to a policy instance.  Keyed by the
+#: policy's display name so ``Scenario.policy`` round-trips through
+#: ``RuntimePolicy.name``.
+POLICY_REGISTRY: dict[str, Callable[[Scenario, dict], RuntimePolicy]] = {
+    "pliant": lambda sc, kw: PliantPolicy(seed=sc.seed, **kw),
+    "precise": lambda sc, kw: PrecisePolicy(),
+    "static-most-approx": lambda sc, kw: StaticMostApproxPolicy(),
+    "static-level": lambda sc, kw: StaticLevelPolicy(dict(kw["levels"])),
+    "core-reclaim-only": lambda sc, kw: CoreReclaimOnlyPolicy(**kw),
+}
+
+
+def make_policy(scenario: Scenario) -> RuntimePolicy:
+    """Instantiate the policy a scenario names."""
+    try:
+        builder = POLICY_REGISTRY[scenario.policy]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_REGISTRY))
+        raise ValueError(
+            f"unknown policy {scenario.policy!r} (known: {known})"
+        ) from None
+    return builder(scenario, dict(scenario.policy_kwargs))
+
+
+def run_scenario(scenario: Scenario) -> ColocationResult:
+    """Run one scenario to completion (used directly by worker processes)."""
+    # Imported lazily: repro.cluster re-exports sweep helpers that import
+    # this module, so a top-level import would be circular.
+    from repro.cluster.colocation import build_engine
+
+    engine = build_engine(
+        scenario.service,
+        scenario.apps,
+        make_policy(scenario),
+        config=scenario.config(),
+        exploration_seed=scenario.exploration_seed,
+    )
+    return engine.run()
+
+
+def _timed_run(scenario: Scenario) -> tuple[ColocationResult, float]:
+    start = time.perf_counter()
+    result = run_scenario(scenario)
+    return result, time.perf_counter() - start
+
+
+def results_identical(a: ColocationResult, b: ColocationResult) -> bool:
+    """Strict bit-level equality of two colocation results.
+
+    Used to assert that serial and parallel sweeps of the same grid are
+    indistinguishable (the determinism contract of the engine).
+    """
+    import numpy as np
+
+    if (
+        a.service_name != b.service_name
+        or a.policy_name != b.policy_name
+        or a.qos != b.qos
+        or a.offered_qps != b.offered_qps
+    ):
+        return False
+    for x, y in (
+        (a.epoch_times, b.epoch_times),
+        (a.epoch_p99, b.epoch_p99),
+        (a.epoch_service_cores, b.epoch_service_cores),
+    ):
+        if not np.array_equal(x, y):
+            return False
+    for mapping_a, mapping_b in (
+        (a.epoch_app_levels, b.epoch_app_levels),
+        (a.epoch_app_cores, b.epoch_app_cores),
+    ):
+        if mapping_a.keys() != mapping_b.keys():
+            return False
+        if any(not np.array_equal(mapping_a[k], mapping_b[k]) for k in mapping_a):
+            return False
+    if len(a.intervals) != len(b.intervals) or len(a.apps) != len(b.apps):
+        return False
+    for ra, rb in zip(a.intervals, b.intervals):
+        if ra.observation != rb.observation or ra.action_summary != rb.action_summary:
+            return False
+    for oa, ob in zip(a.apps, b.apps):
+        if (
+            oa.name != ob.name
+            or oa.finish_time != ob.finish_time
+            or oa.inaccuracy_pct != ob.inaccuracy_pct
+            or oa.switches != ob.switches
+            or oa.min_cores != ob.min_cores
+            or oa.max_reclaimed != ob.max_reclaimed
+            or oa.level_trace != ob.level_trace
+        ):
+            return False
+    return True
+
+
+@dataclass
+class SweepOutcome:
+    """One scenario's result plus execution provenance."""
+
+    scenario: Scenario
+    result: ColocationResult
+    from_cache: bool
+    duration: float
+
+
+class SweepEngine:
+    """Fans a scenario grid out across processes, memoizing results.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``None`` uses ``os.cpu_count()``;  ``0`` or
+        ``1`` runs inline in this process (no pool).  Parallelism never
+        changes results — only wall-clock.
+    cache:
+        A :class:`SweepCache` to memoize results in, or ``None`` (default)
+        to recompute every scenario.  Benchmarks pass an explicit cache so
+        reruns are near-free; unit tests default to uncached runs.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: SweepCache | None = None,
+    ) -> None:
+        self._workers = workers
+        self._cache = cache
+
+    @property
+    def cache(self) -> SweepCache | None:
+        return self._cache
+
+    def effective_workers(self, pending: int) -> int:
+        workers = self._workers if self._workers is not None else os.cpu_count() or 1
+        return max(1, min(workers, pending)) if pending else 1
+
+    def run(
+        self,
+        grid: SweepGrid | Iterable[Scenario],
+        force: bool = False,
+    ) -> list[SweepOutcome]:
+        """Evaluate every scenario; outcomes come back in grid order.
+
+        ``force`` bypasses cache *reads* (results are still written back),
+        which is how benchmarks measure a guaranteed-cold pass.
+        """
+        scenarios = list(grid.scenarios() if isinstance(grid, SweepGrid) else grid)
+        outcomes: dict[int, SweepOutcome] = {}
+        pending: list[tuple[int, Scenario]] = []
+
+        for index, scenario in enumerate(scenarios):
+            cached = None
+            if self._cache is not None and not force:
+                cached = self._cache.get(self._cache.key(scenario))
+            if cached is not None:
+                outcomes[index] = SweepOutcome(
+                    scenario=scenario,
+                    result=cached,
+                    from_cache=True,
+                    duration=0.0,
+                )
+            else:
+                pending.append((index, scenario))
+
+        workers = self.effective_workers(len(pending))
+        if pending:
+            if workers <= 1 or len(pending) == 1:
+                computed = [_timed_run(scenario) for _, scenario in pending]
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    computed = list(
+                        pool.map(_timed_run, [s for _, s in pending])
+                    )
+            for (index, scenario), (result, duration) in zip(pending, computed):
+                if self._cache is not None:
+                    self._cache.put(self._cache.key(scenario), result)
+                outcomes[index] = SweepOutcome(
+                    scenario=scenario,
+                    result=result,
+                    from_cache=False,
+                    duration=duration,
+                )
+
+        return [outcomes[i] for i in range(len(scenarios))]
+
+    def run_results(
+        self,
+        grid: SweepGrid | Iterable[Scenario],
+        force: bool = False,
+    ) -> list[ColocationResult]:
+        """Like :meth:`run`, returning bare results."""
+        return [outcome.result for outcome in self.run(grid, force=force)]
+
+    def run_one(self, scenario: Scenario, force: bool = False) -> ColocationResult:
+        """Evaluate a single scenario through the cache."""
+        return self.run([scenario], force=force)[0].result

@@ -1,0 +1,161 @@
+"""Declarative scenario grids.
+
+A :class:`Scenario` is one fully-specified colocation experiment — enough
+information to rebuild the engine from scratch inside a worker process
+(everything is plain strings/numbers, so scenarios pickle cheaply and
+hash stably).  A :class:`SweepGrid` is the cross product of axis values
+(services x app mixes x policies x loads x decision intervals x seeds)
+expanded in a deterministic order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.core.runtime import ColocationConfig
+
+
+def _normalize_mix(mix: str | tuple[str, ...] | list[str]) -> tuple[str, ...]:
+    if isinstance(mix, str):
+        return (mix,)
+    return tuple(mix)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One sweep coordinate: a colocation experiment as pure data.
+
+    ``policy`` names a registered policy (see
+    :data:`repro.sweep.engine.POLICY_REGISTRY`); ``policy_kwargs`` is a
+    tuple of ``(name, value)`` pairs passed to its builder so the spec
+    stays hashable and JSON-serializable.
+    """
+
+    service: str
+    apps: tuple[str, ...]
+    policy: str = "pliant"
+    policy_kwargs: tuple[tuple[str, object], ...] = ()
+    load_fraction: float = 0.775
+    decision_interval: float = 1.0
+    monitor_epoch: float = 0.1
+    slack_threshold: float = 0.10
+    horizon: float = 400.0
+    seed: int = 0
+    stop_when_apps_done: bool = True
+    exploration_seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "apps", _normalize_mix(self.apps))
+        if not self.apps:
+            raise ValueError("a scenario needs at least one approximate app")
+
+    def config(self) -> ColocationConfig:
+        """The engine config this scenario describes."""
+        return ColocationConfig(
+            load_fraction=self.load_fraction,
+            decision_interval=self.decision_interval,
+            monitor_epoch=self.monitor_epoch,
+            slack_threshold=self.slack_threshold,
+            horizon=self.horizon,
+            seed=self.seed,
+            stop_when_apps_done=self.stop_when_apps_done,
+        )
+
+    def key_payload(self) -> dict:
+        """Canonical JSON-ready payload used for content addressing."""
+        return {
+            "service": self.service,
+            "apps": list(self.apps),
+            "policy": self.policy,
+            "policy_kwargs": [[k, v] for k, v in self.policy_kwargs],
+            "load_fraction": repr(float(self.load_fraction)),
+            "decision_interval": repr(float(self.decision_interval)),
+            "monitor_epoch": repr(float(self.monitor_epoch)),
+            "slack_threshold": repr(float(self.slack_threshold)),
+            "horizon": repr(float(self.horizon)),
+            "seed": int(self.seed),
+            "stop_when_apps_done": bool(self.stop_when_apps_done),
+            "exploration_seed": int(self.exploration_seed),
+        }
+
+    def label(self) -> str:
+        """Short human-readable identifier for logs and tables."""
+        apps = "+".join(self.apps)
+        return (
+            f"{self.service}/{apps}/{self.policy}"
+            f"@{self.load_fraction:g}/dt{self.decision_interval:g}/s{self.seed}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Cross product of scenario axes, expanded deterministically.
+
+    Axis order in the expansion is (service, app mix, policy, load,
+    decision interval, seed) — the slowest-varying axis first, so related
+    scenarios are adjacent and cache/file locality follows the grid.
+    """
+
+    services: tuple[str, ...]
+    app_mixes: tuple[tuple[str, ...], ...]
+    policies: tuple[str, ...] = ("pliant",)
+    load_fractions: tuple[float, ...] = (0.775,)
+    decision_intervals: tuple[float, ...] = (1.0,)
+    seeds: tuple[int, ...] = (0,)
+    base: Scenario | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.services, str):
+            object.__setattr__(self, "services", (self.services,))
+        object.__setattr__(
+            self,
+            "app_mixes",
+            tuple(_normalize_mix(mix) for mix in self.app_mixes),
+        )
+        if not self.services or not self.app_mixes:
+            raise ValueError("grid needs at least one service and one app mix")
+        if not self.policies or not self.load_fractions:
+            raise ValueError("grid needs at least one policy and one load")
+        if not self.decision_intervals or not self.seeds:
+            raise ValueError("grid needs at least one interval and one seed")
+
+    def __len__(self) -> int:
+        return (
+            len(self.services)
+            * len(self.app_mixes)
+            * len(self.policies)
+            * len(self.load_fractions)
+            * len(self.decision_intervals)
+            * len(self.seeds)
+        )
+
+    def scenarios(self) -> list[Scenario]:
+        """Expand the grid into scenarios (stable, documented order)."""
+        template = self.base or Scenario(
+            service=self.services[0], apps=self.app_mixes[0]
+        )
+        out = []
+        for service, mix, policy, load, interval, seed in itertools.product(
+            self.services,
+            self.app_mixes,
+            self.policies,
+            self.load_fractions,
+            self.decision_intervals,
+            self.seeds,
+        ):
+            out.append(
+                replace(
+                    template,
+                    service=service,
+                    apps=mix,
+                    policy=policy,
+                    load_fraction=float(load),
+                    decision_interval=float(interval),
+                    seed=int(seed),
+                )
+            )
+        return out
+
+    def __iter__(self):
+        return iter(self.scenarios())

@@ -37,6 +37,34 @@ class TestLoadSweep:
         )
         assert points[0].result.policy_name == "precise"
 
+    def test_configured_policy_factory_arguments_respected(self):
+        # A factory may close over constructor arguments the declarative
+        # registry path cannot reconstruct; they must take effect.
+        from repro.core import StaticLevelPolicy
+
+        points = load_sweep(
+            "mongodb",
+            ("kmeans",),
+            load_fractions=(0.5,),
+            policy_factory=lambda: StaticLevelPolicy({"kmeans": 0}),
+            base_config=ColocationConfig(seed=4, horizon=30.0),
+        )
+        assert points[0].result.policy_name == "static-level"
+
+    def test_engine_with_cache_memoizes_points(self, tmp_path):
+        from repro.sweep import SweepCache, SweepEngine
+
+        engine = SweepEngine(workers=1, cache=SweepCache(tmp_path))
+        kwargs = dict(
+            load_fractions=(0.5, 0.7),
+            base_config=ColocationConfig(seed=4, horizon=30.0),
+            engine=engine,
+        )
+        load_sweep("mongodb", ("kmeans",), **kwargs)
+        assert engine.cache.misses == 2
+        load_sweep("mongodb", ("kmeans",), **kwargs)
+        assert engine.cache.hits == 2
+
 
 class TestIntervalSweep:
     def test_points_cover_intervals(self):

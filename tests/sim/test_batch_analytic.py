@@ -1,0 +1,162 @@
+"""Property tests: vectorized analytic formulas match the scalar originals.
+
+The batch implementations replicate the scalar arithmetic order, so
+agreement is required to 1e-9 *relative* across random operating-point
+grids — including the saturated / infinite regions, which must match
+exactly in location.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.analytic import (
+    mm1_mean_wait,
+    mm1_mean_wait_batch,
+    mmc_erlang_c,
+    mmc_erlang_c_batch,
+    mmc_tail_latency,
+    mmc_tail_latency_batch,
+    mmc_utilization,
+    mmc_utilization_batch,
+    mmc_wait_quantile,
+    mmc_wait_quantile_batch,
+)
+
+RELATIVE_TOLERANCE = 1e-9
+
+
+def _random_grid(seed: int, size: int = 200):
+    rng = np.random.default_rng(seed)
+    arrival = rng.uniform(0.0, 900.0, size)
+    service = rng.uniform(1e-4, 0.02, size)
+    servers = rng.integers(1, 24, size)
+    return arrival, service, servers
+
+
+def _assert_matches(batch: np.ndarray, scalar: list[float]) -> None:
+    scalar = np.asarray(scalar)
+    assert batch.shape == scalar.shape
+    finite = np.isfinite(scalar)
+    # Infinite/saturated entries must coincide exactly.
+    np.testing.assert_array_equal(np.isfinite(batch), finite)
+    denom = np.maximum(np.abs(scalar[finite]), 1e-300)
+    relative = np.abs(batch[finite] - scalar[finite]) / denom
+    assert relative.max(initial=0.0) < RELATIVE_TOLERANCE
+
+
+class TestUtilizationBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scalar(self, seed):
+        lam, svc, c = _random_grid(seed)
+        batch = mmc_utilization_batch(lam, svc, c)
+        _assert_matches(
+            batch,
+            [mmc_utilization(l, s, int(k)) for l, s, k in zip(lam, svc, c)],
+        )
+
+    def test_broadcasting(self):
+        batch = mmc_utilization_batch([100.0, 200.0], 0.01, 4)
+        assert batch.shape == (2,)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            mmc_utilization_batch([1.0], [0.0], [1])
+        with pytest.raises(ValueError):
+            mmc_utilization_batch([1.0], [0.1], [0])
+        with pytest.raises(ValueError):
+            mmc_utilization_batch([-1.0], [0.1], [1])
+
+
+class TestErlangCBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_scalar(self, seed):
+        lam, svc, c = _random_grid(seed)
+        batch = mmc_erlang_c_batch(lam, svc, c)
+        _assert_matches(
+            batch,
+            [mmc_erlang_c(l, s, int(k)) for l, s, k in zip(lam, svc, c)],
+        )
+
+    def test_saturated_is_one(self):
+        batch = mmc_erlang_c_batch([200.0], [0.01], [1])
+        assert batch[0] == 1.0
+
+    def test_single_server_grid(self):
+        # c == 1 skips the recurrence loop entirely; M/M/1 P(wait) = rho.
+        lam = np.array([30.0, 50.0, 80.0])
+        batch = mmc_erlang_c_batch(lam, 0.01, 1)
+        np.testing.assert_allclose(batch, lam * 0.01, rtol=1e-12)
+
+    def test_2d_grid_shape(self):
+        lam = np.linspace(10, 700, 12).reshape(3, 4)
+        batch = mmc_erlang_c_batch(lam, 0.01, 8)
+        assert batch.shape == (3, 4)
+
+
+class TestWaitQuantileBatch:
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("quantile", [0.5, 0.9, 0.99])
+    def test_matches_scalar(self, seed, quantile):
+        lam, svc, c = _random_grid(seed)
+        batch = mmc_wait_quantile_batch(lam, svc, c, quantile)
+        _assert_matches(
+            batch,
+            [
+                mmc_wait_quantile(l, s, int(k), quantile)
+                for l, s, k in zip(lam, svc, c)
+            ],
+        )
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            mmc_wait_quantile_batch([1.0], [0.01], [1], 1.5)
+
+
+class TestTailLatencyBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("scv", [0.0, 0.7, 1.0, 2.5])
+    def test_matches_scalar(self, seed, scv):
+        lam, svc, c = _random_grid(seed, size=80)
+        batch = mmc_tail_latency_batch(lam, svc, c, 0.99, scv)
+        _assert_matches(
+            batch,
+            [
+                mmc_tail_latency(l, s, int(k), 0.99, scv)
+                for l, s, k in zip(lam, svc, c)
+            ],
+        )
+
+    @given(
+        lam=st.floats(min_value=0.0, max_value=900.0),
+        svc=st.floats(min_value=1e-4, max_value=0.02),
+        servers=st.integers(min_value=1, max_value=24),
+        quantile=st.floats(min_value=0.5, max_value=0.999),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_pointwise(self, lam, svc, servers, quantile):
+        scalar = mmc_tail_latency(lam, svc, servers, quantile)
+        batch = mmc_tail_latency_batch(
+            np.array([lam]), np.array([svc]), np.array([servers]), quantile
+        )
+        if math.isinf(scalar):
+            assert math.isinf(batch[0])
+        else:
+            assert abs(batch[0] - scalar) <= RELATIVE_TOLERANCE * max(
+                abs(scalar), 1e-300
+            )
+
+    def test_monotone_in_load_across_grid(self):
+        lam = np.linspace(100, 790, 30)
+        batch = mmc_tail_latency_batch(lam, 0.01, 8)
+        assert np.all(np.diff(batch) > 0)
+
+
+class TestMM1Batch:
+    def test_matches_scalar(self):
+        lam = np.linspace(1.0, 120.0, 50)
+        batch = mm1_mean_wait_batch(lam, 0.01)
+        _assert_matches(batch, [mm1_mean_wait(l, 0.01) for l in lam])

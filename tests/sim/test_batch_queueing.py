@@ -1,0 +1,161 @@
+"""Vectorized queueing: Kiefer-Wolfowitz batch recursion.
+
+The batch recursion must match a straightforward scalar implementation to
+1e-9 on identical pre-sampled inputs (it is the same recursion, so the
+agreement is essentially exact), and its statistics must agree with both
+the event-driven :class:`QueueSimulator` and the closed-form M/M/c
+results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.analytic import mm1_mean_wait, mmc_erlang_c
+from repro.sim.distributions import Deterministic, Exponential, LogNormal
+from repro.sim.queueing import QueueSimulator, batch_load_sweep, lindley_waits
+
+
+def _scalar_lindley(gaps: np.ndarray, demands: np.ndarray, servers: int):
+    """Reference implementation: one grid point, plain python loop."""
+    workload = np.zeros(servers)
+    waits = np.empty(len(gaps))
+    for i in range(len(gaps)):
+        waits[i] = workload[0]
+        workload[0] += demands[i]
+        if i + 1 < len(gaps):
+            workload = np.sort(np.maximum(workload - gaps[i + 1], 0.0))
+    return waits
+
+
+class TestLindleyMatchesScalar:
+    @pytest.mark.parametrize("servers", [1, 2, 5])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_grids(self, servers, seed):
+        rng = np.random.default_rng(seed)
+        gaps = rng.exponential(0.01, (4, 500))
+        demands = rng.exponential(0.02, (4, 500))
+        batch = lindley_waits(gaps, demands, servers)
+        for row in range(gaps.shape[0]):
+            reference = _scalar_lindley(gaps[row], demands[row], servers)
+            assert np.max(np.abs(batch[row] - reference)) < 1e-9
+
+    @given(
+        servers=st.integers(min_value=1, max_value=4),
+        n=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_random_loads(self, servers, n, seed):
+        rng = np.random.default_rng(seed)
+        gaps = rng.uniform(1e-4, 0.05, (2, n))
+        demands = rng.uniform(1e-4, 0.08, (2, n))
+        batch = lindley_waits(gaps, demands, servers)
+        for row in range(2):
+            reference = _scalar_lindley(gaps[row], demands[row], servers)
+            assert np.max(np.abs(batch[row] - reference)) < 1e-9
+
+    def test_1d_input_supported(self):
+        rng = np.random.default_rng(3)
+        gaps = rng.exponential(0.01, 200)
+        demands = rng.exponential(0.005, 200)
+        waits = lindley_waits(gaps, demands, 1)
+        assert np.max(np.abs(waits - _scalar_lindley(gaps, demands, 1))) < 1e-9
+
+
+class TestLindleySemantics:
+    def test_first_request_never_waits(self):
+        rng = np.random.default_rng(0)
+        gaps = rng.exponential(1.0, (3, 50))
+        demands = rng.exponential(1.0, (3, 50))
+        waits = lindley_waits(gaps, demands, 2)
+        assert np.all(waits[:, 0] == 0.0)
+
+    def test_deterministic_single_server_backlog(self):
+        # Arrivals every 1s, service takes 2s: request i waits i seconds.
+        gaps = np.ones(5)
+        demands = np.full(5, 2.0)
+        waits = lindley_waits(gaps, demands, 1)
+        np.testing.assert_allclose(waits, [0.0, 1.0, 2.0, 3.0, 4.0])
+
+    def test_two_servers_absorb_alternating_arrivals(self):
+        gaps = np.ones(6)
+        demands = np.full(6, 2.0)
+        waits = lindley_waits(gaps, demands, 2)
+        np.testing.assert_allclose(waits, np.zeros(6))
+
+    def test_empty_input(self):
+        waits = lindley_waits(np.empty((2, 0)), np.empty((2, 0)), 1)
+        assert waits.shape == (2, 0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lindley_waits(np.ones((2, 3)), np.ones((2, 4)), 1)
+
+    def test_bad_servers_rejected(self):
+        with pytest.raises(ValueError):
+            lindley_waits(np.ones(3), np.ones(3), 0)
+
+
+class TestBatchLoadSweep:
+    def test_matches_mm1_mean_wait(self):
+        rates = np.array([30.0, 50.0, 70.0])
+        metrics = batch_load_sweep(
+            1, Exponential(0.01), rates, 150_000, seed=7
+        )
+        for rate, m in zip(rates, metrics):
+            expected = mm1_mean_wait(float(rate), 0.01)
+            assert np.mean(m.waits) == pytest.approx(expected, rel=0.1)
+
+    def test_matches_erlang_c_wait_probability(self):
+        rates = np.array([200.0, 300.0])
+        metrics = batch_load_sweep(
+            4, Exponential(0.01), rates, 150_000, seed=11
+        )
+        for rate, m in zip(rates, metrics):
+            expected = mmc_erlang_c(float(rate), 0.01, 4)
+            observed = np.mean(m.waits > 1e-12)
+            assert observed == pytest.approx(expected, abs=0.02)
+
+    def test_statistically_consistent_with_event_driven_simulator(self):
+        rate = 60.0
+        batch = batch_load_sweep(2, Exponential(0.02), np.array([rate]), 80_000, seed=5)[0]
+        des = QueueSimulator(2, Exponential(0.02), rate, seed=5).run(
+            80_000 / rate, warmup=50.0
+        )
+        assert batch.mean_latency == pytest.approx(des.mean_latency, rel=0.15)
+        assert batch.p99 == pytest.approx(des.p99, rel=0.2)
+
+    def test_deterministic_given_seed(self):
+        rates = np.array([40.0, 60.0])
+        a = batch_load_sweep(2, LogNormal(0.02, 0.5), rates, 5_000, seed=3)
+        b = batch_load_sweep(2, LogNormal(0.02, 0.5), rates, 5_000, seed=3)
+        for ma, mb in zip(a, b):
+            np.testing.assert_array_equal(ma.latencies, mb.latencies)
+
+    def test_warmup_discard(self):
+        metrics = batch_load_sweep(
+            1, Deterministic(0.001), np.array([10.0]), 1_000, seed=0,
+            warmup_fraction=0.2,
+        )[0]
+        assert metrics.completed == 800
+        assert len(metrics.latencies) == 800
+
+    def test_latency_grows_with_load(self):
+        rates = np.linspace(20.0, 95.0, 6)
+        metrics = batch_load_sweep(1, Exponential(0.01), rates, 60_000, seed=1)
+        means = [m.mean_latency for m in metrics]
+        assert means == sorted(means)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            batch_load_sweep(1, Exponential(0.01), np.array([]), 100)
+        with pytest.raises(ValueError):
+            batch_load_sweep(1, Exponential(0.01), np.array([-1.0]), 100)
+        with pytest.raises(ValueError):
+            batch_load_sweep(1, Exponential(0.01), np.array([10.0]), 0)
+        with pytest.raises(ValueError):
+            batch_load_sweep(
+                1, Exponential(0.01), np.array([10.0]), 100, warmup_fraction=1.0
+            )

@@ -1,0 +1,170 @@
+"""SweepCache: content addressing, persistence, corruption recovery."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+import repro.sweep.cache as cache_module
+from repro.sweep import Scenario, SweepCache
+from repro.sweep.cache import (
+    FORMAT_VERSION,
+    atomic_write_bytes,
+    code_fingerprint,
+    stable_hash,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return SweepCache(tmp_path / "sweeps")
+
+
+def _scenario(**kwargs) -> Scenario:
+    defaults = {"service": "mongodb", "apps": ("kmeans",), "seed": 4}
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+class TestStableHash:
+    def test_stable_across_calls(self):
+        payload = {"b": 2, "a": [1, 2, 3]}
+        assert stable_hash(payload) == stable_hash(payload)
+
+    def test_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_value_change_changes_hash(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_length_parameter(self):
+        assert len(stable_hash({"a": 1}, length=16)) == 16
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "sub" / "file.bin"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+
+    def test_leaves_no_tmp_files(self, tmp_path):
+        target = tmp_path / "file.bin"
+        atomic_write_bytes(target, b"payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["file.bin"]
+
+    def test_overwrites_atomically(self, tmp_path):
+        target = tmp_path / "file.bin"
+        atomic_write_bytes(target, b"old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+
+class TestKeying:
+    def test_same_scenario_same_key(self, cache):
+        assert cache.key(_scenario()) == cache.key(_scenario())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"service": "nginx"},
+            {"apps": ("canneal",)},
+            {"apps": ("kmeans", "canneal")},
+            {"policy": "precise"},
+            {"load_fraction": 0.5},
+            {"decision_interval": 2.0},
+            {"monitor_epoch": 0.2},
+            {"slack_threshold": 0.2},
+            {"horizon": 100.0},
+            {"seed": 5},
+            {"stop_when_apps_done": False},
+            {"exploration_seed": 1},
+        ],
+    )
+    def test_any_config_change_invalidates(self, cache, change):
+        assert cache.key(_scenario()) != cache.key(_scenario(**change))
+
+    def test_policy_kwargs_change_invalidates(self, cache):
+        a = _scenario(policy_kwargs=(("slack_threshold", 0.1),))
+        b = _scenario(policy_kwargs=(("slack_threshold", 0.2),))
+        assert cache.key(a) != cache.key(b)
+
+    def test_code_fingerprint_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+    def test_code_change_invalidates(self, cache, monkeypatch):
+        before = cache.key(_scenario())
+        monkeypatch.setattr(
+            cache_module, "code_fingerprint", lambda: "deadbeefdeadbeef"
+        )
+        assert cache.key(_scenario()) != before
+
+
+class TestRoundTrip:
+    def test_miss_returns_none(self, cache):
+        assert cache.get(cache.key(_scenario())) is None
+        assert cache.misses == 1
+
+    def test_put_get_round_trip(self, cache):
+        key = cache.key(_scenario())
+        cache.put(key, {"payload": 42})
+        assert cache.get(key) == {"payload": 42}
+        assert cache.hits == 1
+
+    def test_contains_and_count(self, cache):
+        key = cache.key(_scenario())
+        assert key not in cache
+        cache.put(key, "value")
+        assert key in cache
+        assert cache.entry_count() == 1
+
+    def test_clear_removes_entries(self, cache):
+        key = cache.key(_scenario())
+        cache.put(key, "value")
+        assert cache.clear() == 1
+        assert cache.get(key) is None
+
+    def test_sharded_layout(self, cache):
+        key = cache.key(_scenario())
+        cache.put(key, "value")
+        assert cache.path(key).parent.name == key[:2]
+
+    def test_env_override_respected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "env-cache"))
+        assert SweepCache().root == tmp_path / "env-cache"
+
+
+class TestCorruptionRecovery:
+    def test_truncated_entry_treated_as_miss_and_deleted(self, cache):
+        key = cache.key(_scenario())
+        cache.put(key, "value")
+        path = cache.path(key)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_garbage_entry_treated_as_miss_and_deleted(self, cache):
+        key = cache.key(_scenario())
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle at all")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_version_skew_treated_as_miss(self, cache):
+        key = cache.key(_scenario())
+        envelope = {"format": FORMAT_VERSION + 1, "result": "stale"}
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps(envelope))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_recovery_then_refill(self, cache):
+        key = cache.key(_scenario())
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"garbage")
+        assert cache.get(key) is None
+        cache.put(key, "fresh")
+        assert cache.get(key) == "fresh"

@@ -1,0 +1,150 @@
+"""SweepEngine: fan-out determinism, memoization, policy registry."""
+
+import pytest
+
+from repro.core.policy import PliantPolicy
+from repro.sweep import (
+    Scenario,
+    SweepCache,
+    SweepEngine,
+    SweepGrid,
+    results_identical,
+    run_scenario,
+)
+from repro.sweep.engine import make_policy
+
+#: Short-horizon scenario template: fast but long enough for decisions.
+BASE = Scenario(service="mongodb", apps=("kmeans",), horizon=60.0, seed=4)
+
+
+def _grid(loads=(0.5, 0.8)) -> SweepGrid:
+    return SweepGrid(
+        services=("mongodb",),
+        app_mixes=(("kmeans",),),
+        load_fractions=loads,
+        seeds=(4,),
+        base=BASE,
+    )
+
+
+class TestPolicyRegistry:
+    def test_pliant_gets_scenario_seed(self):
+        policy = make_policy(Scenario(service="nginx", apps=("kmeans",), seed=7))
+        assert policy.name == "pliant"
+
+    def test_precise(self):
+        scenario = Scenario(service="nginx", apps=("kmeans",), policy="precise")
+        assert make_policy(scenario).name == "precise"
+
+    def test_kwargs_forwarded(self):
+        scenario = Scenario(
+            service="nginx",
+            apps=("kmeans",),
+            policy="core-reclaim-only",
+            policy_kwargs=(("slack_threshold", 0.2),),
+        )
+        assert make_policy(scenario).name == "core-reclaim-only"
+
+    def test_unknown_policy_raises_with_known_names(self):
+        scenario = Scenario(service="nginx", apps=("kmeans",), policy="nope")
+        with pytest.raises(ValueError, match="pliant"):
+            make_policy(scenario)
+
+
+class TestDeterminism:
+    def test_run_scenario_reproducible(self):
+        a = run_scenario(BASE)
+        b = run_scenario(BASE)
+        assert results_identical(a, b)
+
+    def test_seed_changes_results(self):
+        from dataclasses import replace
+
+        a = run_scenario(BASE)
+        b = run_scenario(replace(BASE, seed=5))
+        assert not results_identical(a, b)
+
+    def test_serial_vs_parallel_bit_identical(self):
+        serial = SweepEngine(workers=1).run(_grid())
+        parallel = SweepEngine(workers=2).run(_grid())
+        assert len(serial) == len(parallel) == 2
+        for a, b in zip(serial, parallel):
+            assert a.scenario == b.scenario
+            assert results_identical(a.result, b.result)
+
+    def test_outcomes_in_grid_order(self):
+        outcomes = SweepEngine(workers=2).run(_grid(loads=(0.8, 0.5, 0.6)))
+        assert [o.scenario.load_fraction for o in outcomes] == [0.8, 0.5, 0.6]
+
+
+class TestMemoization:
+    def test_cold_then_warm(self, tmp_path):
+        engine = SweepEngine(workers=1, cache=SweepCache(tmp_path))
+        cold = engine.run(_grid())
+        warm = engine.run(_grid())
+        assert all(not o.from_cache for o in cold)
+        assert all(o.from_cache for o in warm)
+        for a, b in zip(cold, warm):
+            assert results_identical(a.result, b.result)
+
+    def test_cache_shared_across_engines(self, tmp_path):
+        SweepEngine(workers=1, cache=SweepCache(tmp_path)).run(_grid())
+        warm = SweepEngine(workers=1, cache=SweepCache(tmp_path)).run(_grid())
+        assert all(o.from_cache for o in warm)
+
+    def test_config_change_misses(self, tmp_path):
+        from dataclasses import replace
+
+        engine = SweepEngine(workers=1, cache=SweepCache(tmp_path))
+        engine.run([BASE])
+        changed = engine.run([replace(BASE, load_fraction=0.9)])
+        assert not changed[0].from_cache
+
+    def test_corrupted_entry_recomputed(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        engine = SweepEngine(workers=1, cache=cache)
+        (cold,) = engine.run([BASE])
+        path = cache.path(cache.key(BASE))
+        path.write_bytes(b"corrupted beyond repair")
+        (recovered,) = engine.run([BASE])
+        assert not recovered.from_cache
+        assert results_identical(cold.result, recovered.result)
+        # The recomputed result is re-stored and readable again.
+        (warm,) = engine.run([BASE])
+        assert warm.from_cache
+
+    def test_force_bypasses_cache_read(self, tmp_path):
+        engine = SweepEngine(workers=1, cache=SweepCache(tmp_path))
+        engine.run([BASE])
+        (forced,) = engine.run([BASE], force=True)
+        assert not forced.from_cache
+
+    def test_uncached_engine_always_computes(self):
+        engine = SweepEngine(workers=1)
+        first = engine.run([BASE])
+        second = engine.run([BASE])
+        assert not first[0].from_cache and not second[0].from_cache
+
+
+class TestApi:
+    def test_run_results_returns_bare_results(self):
+        results = SweepEngine(workers=1).run_results(_grid(loads=(0.5,)))
+        assert len(results) == 1
+        assert results[0].service_name == "mongodb"
+
+    def test_run_one(self):
+        result = SweepEngine(workers=1).run_one(BASE)
+        assert result.policy_name == "pliant"
+
+    def test_effective_workers_bounded_by_pending(self):
+        engine = SweepEngine(workers=8)
+        assert engine.effective_workers(pending=3) == 3
+        assert engine.effective_workers(pending=0) == 1
+
+    def test_accepts_plain_scenario_list(self):
+        outcomes = SweepEngine(workers=1).run([BASE])
+        assert outcomes[0].scenario == BASE
+
+    def test_duration_recorded_for_computed(self):
+        (outcome,) = SweepEngine(workers=1).run([BASE])
+        assert outcome.duration > 0.0

@@ -1,0 +1,138 @@
+"""Scenario and SweepGrid: declarative grid expansion."""
+
+import pytest
+
+from repro.core.runtime import ColocationConfig
+from repro.sweep import Scenario, SweepGrid
+
+
+class TestScenario:
+    def test_single_app_string_normalized(self):
+        scenario = Scenario(service="nginx", apps="kmeans")
+        assert scenario.apps == ("kmeans",)
+
+    def test_list_mix_normalized_to_tuple(self):
+        scenario = Scenario(service="nginx", apps=["kmeans", "canneal"])
+        assert scenario.apps == ("kmeans", "canneal")
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(service="nginx", apps=())
+
+    def test_config_round_trip(self):
+        scenario = Scenario(
+            service="nginx",
+            apps=("kmeans",),
+            load_fraction=0.6,
+            decision_interval=2.0,
+            monitor_epoch=0.2,
+            slack_threshold=0.15,
+            horizon=120.0,
+            seed=9,
+            stop_when_apps_done=False,
+        )
+        config = scenario.config()
+        assert config == ColocationConfig(
+            load_fraction=0.6,
+            decision_interval=2.0,
+            monitor_epoch=0.2,
+            slack_threshold=0.15,
+            horizon=120.0,
+            seed=9,
+            stop_when_apps_done=False,
+        )
+
+    def test_hashable_and_equal_by_value(self):
+        a = Scenario(service="nginx", apps=("kmeans",), seed=3)
+        b = Scenario(service="nginx", apps=("kmeans",), seed=3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_key_payload_covers_every_axis(self):
+        base = Scenario(service="nginx", apps=("kmeans",))
+        payload = base.key_payload()
+        for field in (
+            "service",
+            "apps",
+            "policy",
+            "load_fraction",
+            "decision_interval",
+            "monitor_epoch",
+            "slack_threshold",
+            "horizon",
+            "seed",
+            "stop_when_apps_done",
+            "exploration_seed",
+        ):
+            assert field in payload
+
+    def test_label_mentions_coordinates(self):
+        scenario = Scenario(
+            service="nginx", apps=("kmeans", "snp"), load_fraction=0.5, seed=3
+        )
+        label = scenario.label()
+        assert "nginx" in label and "kmeans+snp" in label and "0.5" in label
+
+
+class TestSweepGrid:
+    def test_len_is_axis_product(self):
+        grid = SweepGrid(
+            services=("nginx", "mongodb"),
+            app_mixes=(("kmeans",), ("canneal",), ("snp",)),
+            policies=("pliant", "precise"),
+            load_fractions=(0.4, 0.6),
+            decision_intervals=(1.0,),
+            seeds=(0, 1),
+        )
+        assert len(grid) == 2 * 3 * 2 * 2 * 1 * 2
+        assert len(grid.scenarios()) == len(grid)
+
+    def test_expansion_deterministic(self):
+        grid = SweepGrid(
+            services=("nginx", "mongodb"),
+            app_mixes=(("kmeans",),),
+            load_fractions=(0.4, 0.8),
+        )
+        assert grid.scenarios() == grid.scenarios()
+
+    def test_expansion_order_slowest_axis_first(self):
+        grid = SweepGrid(
+            services=("nginx", "mongodb"),
+            app_mixes=(("kmeans",),),
+            load_fractions=(0.4, 0.8),
+        )
+        coords = [(s.service, s.load_fraction) for s in grid]
+        assert coords == [
+            ("nginx", 0.4),
+            ("nginx", 0.8),
+            ("mongodb", 0.4),
+            ("mongodb", 0.8),
+        ]
+
+    def test_base_scenario_carries_non_axis_knobs(self):
+        base = Scenario(
+            service="nginx", apps=("kmeans",), horizon=50.0, monitor_epoch=0.2
+        )
+        grid = SweepGrid(
+            services=("mongodb",),
+            app_mixes=(("canneal",),),
+            seeds=(5,),
+            base=base,
+        )
+        (scenario,) = grid.scenarios()
+        assert scenario.service == "mongodb"
+        assert scenario.apps == ("canneal",)
+        assert scenario.seed == 5
+        assert scenario.horizon == 50.0
+        assert scenario.monitor_epoch == 0.2
+
+    def test_string_service_and_mixes_normalized(self):
+        grid = SweepGrid(services="nginx", app_mixes=("kmeans", ("snp",)))
+        assert grid.services == ("nginx",)
+        assert grid.app_mixes == (("kmeans",), ("snp",))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            SweepGrid(services=(), app_mixes=(("kmeans",),))
+        with pytest.raises(ValueError):
+            SweepGrid(services=("nginx",), app_mixes=(("kmeans",),), seeds=())
