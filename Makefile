@@ -4,16 +4,23 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-figs lint
+.PHONY: test bench bench-figs sweep-smoke lint
 
 ## Tier-1: fast unit/integration suite (the gate for every PR).
 test:
 	$(PY) -m pytest -x -q
 
 ## Sweep-engine benchmark: measures parallel/cached/vectorized speedups and
-## appends a trajectory entry to BENCH_sweep.json.
+## the distributed-vs-serial gap; appends trajectory entries to
+## BENCH_sweep.json.
 bench:
 	$(PY) -m pytest benchmarks/test_sweep_engine.py -m benchmark -q
+
+## Distributed-backend smoke: >= 32-scenario grid through a two-worker local
+## fleet with a mid-sweep worker kill; asserts bit-identity with the serial
+## pass and a >= 95% warm cache rerun.
+sweep-smoke:
+	$(PY) -m pytest benchmarks/test_distributed_sweep.py -m benchmark -q
 
 ## Full figure-reproduction drivers (Figs. 1-10, ~minutes).
 bench-figs:

@@ -19,7 +19,7 @@ from repro.apps import ALL_APP_NAMES, make_app
 from repro.cas import atomic_write_bytes
 from repro.cluster import ladder_for
 from repro.core.runtime import ColocationConfig, ColocationResult
-from repro.sweep import Scenario, SweepCache, SweepEngine
+from repro.sweep import Scenario, SweepCache, SweepEngine, backend_from_env
 
 SERVICES = ("nginx", "memcached", "mongodb")
 SEED = 2
@@ -34,8 +34,11 @@ SERVICE_UNITS = {
 #: Trajectory file the sweep benchmarks append their measurements to.
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
-#: Process-wide engine: parallel across cores, memoized on disk.
-ENGINE = SweepEngine(cache=SweepCache())
+#: Process-wide engine: memoized on disk; parallel across cores by
+#: default, or any substrate named by REPRO_SWEEP_BACKEND — e.g.
+#: ``REPRO_SWEEP_BACKEND=distributed REPRO_SWEEP_SPOOL=/share/spool``
+#: re-points every figure driver at a worker fleet with no code changes.
+ENGINE = SweepEngine(cache=SweepCache(), backend=backend_from_env())
 
 
 def config(**kwargs) -> ColocationConfig:

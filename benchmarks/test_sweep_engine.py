@@ -26,7 +26,15 @@ import pytest
 from repro.sim.analytic import mmc_tail_latency, mmc_tail_latency_batch
 from repro.sim.distributions import Exponential
 from repro.sim.queueing import QueueSimulator, batch_load_sweep
-from repro.sweep import SweepCache, SweepEngine, SweepGrid, results_identical
+from repro.sweep import (
+    DistributedBackend,
+    ProcessBackend,
+    SerialBackend,
+    SweepCache,
+    SweepEngine,
+    SweepGrid,
+    results_identical,
+)
 
 from benchmarks._common import SEED, record_bench, scenario
 
@@ -58,8 +66,12 @@ def test_sweep_engine_speedup(capsys):
     cores = os.cpu_count() or 1
 
     # -- serial vs parallel (identical results, wall-clock gap) ----------
-    serial, t_serial = _timed(lambda: SweepEngine(workers=1).run(grid))
-    parallel, t_parallel = _timed(lambda: SweepEngine(workers=None).run(grid))
+    serial, t_serial = _timed(
+        lambda: SweepEngine(backend=SerialBackend()).run(grid)
+    )
+    parallel, t_parallel = _timed(
+        lambda: SweepEngine(backend=ProcessBackend()).run(grid)
+    )
     identical = all(
         results_identical(a.result, b.result) for a, b in zip(serial, parallel)
     )
@@ -138,3 +150,54 @@ def test_sweep_engine_speedup(capsys):
         assert parallel_speedup >= 4.0, (
             f"parallel sweep only {parallel_speedup:.1f}x on {cores} cores"
         )
+
+
+def test_distributed_speedup(tmp_path, capsys):
+    """Distributed-vs-serial on the same grid: identical bits, recorded gap.
+
+    Two locally spawned workers serve a fresh spool; the serial pass is
+    the reference.  Worker startup (a fresh interpreter importing repro)
+    is part of the measured distributed cost — that is the honest price
+    of the broker/worker path and shrinks relative to grid size.
+    """
+    grid = _grid()
+    serial, t_serial = _timed(
+        lambda: SweepEngine(backend=SerialBackend()).run(grid)
+    )
+
+    cache = SweepCache(tmp_path / "cache")
+    backend = DistributedBackend(
+        tmp_path / "spool",
+        cache=cache,
+        lease_ttl=30.0,
+        timeout=600.0,
+        local_workers=2,
+    )
+    distributed, t_distributed = _timed(
+        lambda: SweepEngine(cache=cache, backend=backend).run(grid)
+    )
+    identical = all(
+        results_identical(a.result, b.result)
+        for a, b in zip(serial, distributed)
+    )
+    speedup = t_serial / t_distributed if t_distributed > 0 else float("inf")
+
+    record_bench(
+        "distributed_vs_serial",
+        {
+            "grid_size": len(grid),
+            "serial_s": round(t_serial, 3),
+            "distributed_s": round(t_distributed, 3),
+            "distributed_workers": 2,
+            "distributed_speedup": round(speedup, 2),
+            "distributed_serial_identical": identical,
+        },
+    )
+
+    with capsys.disabled():
+        print()
+        print(f"=== distributed backend: {len(grid)} scenarios, 2 workers ===")
+        print(f"serial {t_serial:.2f}s  distributed {t_distributed:.2f}s "
+              f"({speedup:.2f}x)  identical: {identical}")
+
+    assert identical, "distributed and serial sweeps must be bit-identical"

@@ -5,7 +5,10 @@ thin fronts over :class:`repro.sweep.SweepEngine`: they build a
 one-axis :class:`repro.sweep.SweepGrid` and hand it to an engine.  The
 default engine runs inline and uncached (the old contract of these
 helpers); pass ``engine=SweepEngine(cache=SweepCache())`` to fan out
-across cores and memoize results on disk.
+across cores and memoize results on disk, or ``backend=`` any
+:class:`repro.sweep.ExecutionBackend` (e.g. a
+:class:`~repro.sweep.DistributedBackend`) to run the same sweep on a
+worker fleet.
 """
 
 from __future__ import annotations
@@ -15,8 +18,20 @@ from dataclasses import dataclass
 
 from repro.core.runtime import ColocationConfig, ColocationResult
 from repro.rng import child_generator
+from repro.sweep.backends import ExecutionBackend
 from repro.sweep.engine import SweepEngine
 from repro.sweep.grid import Scenario, SweepGrid
+
+
+def _resolve_engine(
+    engine: SweepEngine | None, backend: ExecutionBackend | None
+) -> SweepEngine:
+    """Explicit engine wins; a bare backend gets wrapped; default is inline."""
+    if engine is not None:
+        return engine
+    if backend is not None:
+        return SweepEngine(backend=backend)
+    return SweepEngine(workers=1)
 
 
 @dataclass(frozen=True)
@@ -78,6 +93,7 @@ def load_sweep(
     policy_factory=None,
     base_config: ColocationConfig | None = None,
     engine: SweepEngine | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> list[SweepPoint]:
     """Fig. 8: sweep offered load as a fraction of saturation."""
     base = base_config or ColocationConfig()
@@ -99,7 +115,7 @@ def load_sweep(
             SweepPoint(value=s.load_fraction, result=r)
             for s, r in zip(scenarios, results)
         ]
-    outcomes = (engine or SweepEngine(workers=1)).run(grid)
+    outcomes = _resolve_engine(engine, backend).run(grid)
     return [
         SweepPoint(value=o.scenario.load_fraction, result=o.result)
         for o in outcomes
@@ -112,6 +128,7 @@ def interval_sweep(
     intervals: tuple[float, ...] = (0.2, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0),
     base_config: ColocationConfig | None = None,
     engine: SweepEngine | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> list[SweepPoint]:
     """Fig. 9: sweep Pliant's decision interval."""
     base = base_config or ColocationConfig()
@@ -124,7 +141,7 @@ def interval_sweep(
         seeds=(base.seed,),
         base=_scenario_base(service_name, app_names, base, "pliant"),
     )
-    outcomes = (engine or SweepEngine(workers=1)).run(grid)
+    outcomes = _resolve_engine(engine, backend).run(grid)
     return [
         SweepPoint(value=o.scenario.decision_interval, result=o.result)
         for o in outcomes

@@ -5,13 +5,20 @@ fraction of saturation (default 75-80 %).  A generator maps simulation time
 to offered QPS; the runtime samples it once per monitor epoch.  Loads are
 expressed as a fraction of the service's saturation at its *nominal* core
 count, so reclaiming cores does not silently change the offered load.
+
+Generators expose both a scalar ``qps_at`` (the runtime's per-epoch probe)
+and a vectorized ``qps_at_array`` (whole trace in one numpy expression),
+which is what ``mean_qps`` and sweep-scale tooling sample through.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from bisect import bisect_right
 from dataclasses import dataclass
+
+import numpy as np
 
 
 class LoadGenerator(ABC):
@@ -21,13 +28,24 @@ class LoadGenerator(ABC):
     def qps_at(self, time: float) -> float:
         """Offered queries/second at simulation time ``time``."""
 
+    def qps_at_array(self, times) -> np.ndarray:
+        """Vectorized :meth:`qps_at` over an array of times.
+
+        Subclasses override with a closed-form numpy expression; this
+        fallback just loops, so custom generators stay correct without
+        extra work.
+        """
+        times = np.asarray(times, dtype=float)
+        flat = [self.qps_at(float(t)) for t in np.ravel(times)]
+        return np.asarray(flat, dtype=float).reshape(times.shape)
+
     def mean_qps(self, horizon: float, resolution: float = 0.1) -> float:
         """Average offered load over ``[0, horizon]`` (numeric, for tests)."""
         if horizon <= 0:
             raise ValueError("horizon must be positive")
         steps = max(1, int(horizon / resolution))
-        total = sum(self.qps_at(i * horizon / steps) for i in range(steps))
-        return total / steps
+        times = np.arange(steps, dtype=float) * horizon / steps
+        return float(self.qps_at_array(times).mean())
 
 
 @dataclass(frozen=True)
@@ -42,6 +60,10 @@ class ConstantLoad(LoadGenerator):
 
     def qps_at(self, time: float) -> float:
         return self.qps
+
+    def qps_at_array(self, times) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        return np.full(times.shape, float(self.qps))
 
 
 @dataclass(frozen=True)
@@ -58,15 +80,19 @@ class StepLoad(LoadGenerator):
             raise ValueError("step times must be non-decreasing")
         if any(q < 0 for _, q in self.steps):
             raise ValueError("qps values must be non-negative")
+        # Lookup tables for O(log n) probes; level 0 before the first step.
+        object.__setattr__(self, "_starts", tuple(times))
+        object.__setattr__(
+            self, "_levels", (0.0,) + tuple(q for _, q in self.steps)
+        )
 
     def qps_at(self, time: float) -> float:
-        current = 0.0
-        for start, qps in self.steps:
-            if time >= start:
-                current = qps
-            else:
-                break
-        return current
+        return self._levels[bisect_right(self._starts, time)]
+
+    def qps_at_array(self, times) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        levels = np.asarray(self._levels, dtype=float)
+        return levels[np.searchsorted(self._starts, times, side="right")]
 
 
 @dataclass(frozen=True)
@@ -91,6 +117,14 @@ class DiurnalLoad(LoadGenerator):
             2.0 * math.pi * (time / self.period) + self.phase
         )
 
+    def qps_at_array(self, times) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        midpoint = (self.high_qps + self.low_qps) / 2.0
+        amplitude = (self.high_qps - self.low_qps) / 2.0
+        return midpoint + amplitude * np.sin(
+            2.0 * np.pi * (times / self.period) + self.phase
+        )
+
 
 @dataclass(frozen=True)
 class BurstyLoad(LoadGenerator):
@@ -110,3 +144,8 @@ class BurstyLoad(LoadGenerator):
     def qps_at(self, time: float) -> float:
         position = time % self.burst_period
         return self.burst_qps if position < self.burst_duration else self.base_qps
+
+    def qps_at_array(self, times) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        in_burst = (times % self.burst_period) < self.burst_duration
+        return np.where(in_burst, float(self.burst_qps), float(self.base_qps))

@@ -1,0 +1,542 @@
+"""Fault-tolerant broker/worker execution over a shared job spool.
+
+The distributed backend turns a sweep into datacenter-shaped work: the
+submitting host spills scenario jobs into a **spool** (a directory on
+storage every participant can reach), stateless **workers** claim jobs
+via atomic leases, execute them, and publish results into the shared
+content-addressed :class:`~repro.sweep.cache.SweepCache`; the submitter
+polls done markers and reads results back by config hash.
+
+Spool layout (all writes atomic: tmp + rename, or ``O_CREAT|O_EXCL``)::
+
+    <spool>/jobs/<job_id>.json     scenario payload (content-addressed id)
+    <spool>/leases/<job_id>.lease  owner token; mtime is the heartbeat
+    <spool>/done/<job_id>.json     {key, duration, worker} once finished
+    <spool>/logs/worker-*.log      stdout/stderr of locally spawned workers
+
+Lease semantics
+---------------
+* **Claim**: creating the lease file with ``O_CREAT | O_EXCL`` — a true
+  filesystem-level mutex, so two racing workers claim a fresh job exactly
+  once.
+* **Heartbeat**: the owner touches the lease mtime on a background
+  thread while the job runs.
+* **Expiry / steal**: a lease whose mtime is older than ``lease_ttl`` is
+  presumed dead (worker crashed mid-job); any worker may steal it by
+  atomically replacing the lease and verifying its own token read back.
+  The verification window still admits a rare double-execution — which is
+  *safe*, because results are a pure function of the scenario config and
+  cache writes are idempotent.  Leases guarantee at-least-once execution
+  and best-effort exactly-once; determinism upgrades that to
+  exactly-once *semantics*.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.cas import atomic_write_bytes, stable_hash
+from repro.sweep.backends.base import ExecutionBackend, timed_run
+from repro.sweep.cache import SweepCache
+from repro.sweep.grid import Scenario
+
+__all__ = [
+    "DistributedBackend",
+    "JobSpool",
+    "SpoolJob",
+    "SpoolStatus",
+    "default_worker_id",
+    "run_worker",
+]
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class SpoolJob:
+    """One claimed unit of work."""
+
+    job_id: str
+    scenario: Scenario
+
+
+@dataclass(frozen=True)
+class SpoolStatus:
+    """Point-in-time census of a spool.
+
+    ``done`` counts every job with a completion marker, including the
+    ``failed`` ones (a failed job is drained — it will not be retried
+    until explicitly re-queued).
+    """
+
+    total: int
+    done: int
+    running: int
+    expired: int
+    pending: int
+    failed: int = 0
+
+    def to_payload(self) -> dict:
+        return {
+            "total": self.total,
+            "done": self.done,
+            "running": self.running,
+            "expired": self.expired,
+            "pending": self.pending,
+            "failed": self.failed,
+        }
+
+
+class JobSpool:
+    """Filesystem broker: submit, claim, heartbeat, complete.
+
+    Every operation is a small atomic filesystem action, so any number of
+    submitters and workers can share one spool with no coordinator
+    process.  Job ids are content-addressed (a stable hash of the
+    scenario payload), which dedupes identical scenarios across
+    submitters for free.
+    """
+
+    def __init__(self, root: Path | str, lease_ttl: float = 30.0) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self._root = Path(root)
+        self.lease_ttl = lease_ttl
+        for sub in ("jobs", "leases", "done"):
+            (self._root / sub).mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    # -- paths -----------------------------------------------------------
+
+    def job_id(self, scenario: Scenario) -> str:
+        return stable_hash(scenario.key_payload(), length=24)
+
+    def job_path(self, job_id: str) -> Path:
+        return self._root / "jobs" / f"{job_id}.json"
+
+    def lease_path(self, job_id: str) -> Path:
+        return self._root / "leases" / f"{job_id}.lease"
+
+    def done_path(self, job_id: str) -> Path:
+        return self._root / "done" / f"{job_id}.json"
+
+    # -- submit side -----------------------------------------------------
+
+    def submit(self, scenario: Scenario) -> str:
+        """Spool one scenario; returns its job id (idempotent)."""
+        job_id = self.job_id(scenario)
+        path = self.job_path(job_id)
+        if not path.exists():
+            payload = json.dumps(scenario.to_payload(), sort_keys=True)
+            atomic_write_bytes(path, payload.encode())
+        return job_id
+
+    def load_scenario(self, job_id: str) -> Scenario:
+        return Scenario.from_payload(json.loads(self.job_path(job_id).read_text()))
+
+    def job_ids(self) -> list[str]:
+        return sorted(p.stem for p in (self._root / "jobs").glob("*.json"))
+
+    # -- lease lifecycle -------------------------------------------------
+
+    def lease_age(self, job_id: str) -> float | None:
+        """Seconds since the owner's last heartbeat, or ``None`` if unleased."""
+        try:
+            return max(0.0, time.time() - self.lease_path(job_id).stat().st_mtime)
+        except OSError:
+            return None
+
+    def try_claim(self, job_id: str, worker_id: str) -> bool:
+        """Attempt to own ``job_id``; at most one claimer of a fresh job wins."""
+        if self.done_path(job_id).exists():
+            return False
+        token = f"{worker_id}:{uuid.uuid4().hex}"
+        lease = self.lease_path(job_id)
+        try:
+            fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            age = self.lease_age(job_id)
+            if age is None:
+                return False  # released between the check and the stat
+            if age <= self.lease_ttl:
+                return False  # live owner
+            return self._steal(job_id, token)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(token)
+        return True
+
+    def _steal(self, job_id: str, token: str) -> bool:
+        """Replace an expired lease; read-back verification breaks ties."""
+        lease = self.lease_path(job_id)
+        tmp = lease.with_suffix(f".steal-{uuid.uuid4().hex}")
+        try:
+            tmp.write_text(token)
+            os.replace(tmp, lease)
+            return lease.read_text() == token
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+
+    def heartbeat(self, job_id: str) -> None:
+        try:
+            os.utime(self.lease_path(job_id))
+        except OSError:
+            pass  # lease stolen or spool pruned; the job re-runs harmlessly
+
+    def release(self, job_id: str) -> None:
+        """Drop a lease without completing the job (worker shutting down)."""
+        try:
+            self.lease_path(job_id).unlink()
+        except OSError:
+            pass
+
+    def claim_next(self, worker_id: str) -> SpoolJob | None:
+        """Claim the first available job, or ``None`` if nothing is claimable."""
+        for job_id in self.job_ids():
+            if self.done_path(job_id).exists():
+                continue
+            if self.try_claim(job_id, worker_id):
+                try:
+                    return SpoolJob(job_id=job_id, scenario=self.load_scenario(job_id))
+                except (OSError, ValueError, KeyError, TypeError):
+                    self.quarantine(job_id)  # torn or foreign job file
+                    self.release(job_id)
+        return None
+
+    def quarantine(self, job_id: str) -> None:
+        """Sideline a malformed job file so it stops being claimable.
+
+        Renames ``jobs/<id>.json`` to ``jobs/<id>.json.bad`` (out of the
+        ``*.json`` glob), otherwise a single torn or foreign job file
+        would be claimed, fail to parse, and be released forever —
+        livelocking every ``--exit-when-idle`` worker in the fleet.
+        """
+        path = self.job_path(job_id)
+        try:
+            os.replace(path, path.with_suffix(".json.bad"))
+        except OSError:
+            pass
+
+    # -- completion ------------------------------------------------------
+
+    def mark_done(
+        self, job_id: str, key: str, duration: float, worker_id: str
+    ) -> None:
+        atomic_write_bytes(
+            self.done_path(job_id),
+            json.dumps(
+                {"key": key, "duration": duration, "worker": worker_id}
+            ).encode(),
+        )
+
+    def mark_failed(self, job_id: str, error: str, worker_id: str) -> None:
+        """Record a permanent failure as a done marker with an error.
+
+        A failed job must not go back in the queue: releasing it would
+        hand the same poison scenario to the next worker, crashing the
+        fleet one process at a time.  The submitter surfaces the error;
+        :meth:`reset_job` (or fixing the config) makes it runnable again.
+        """
+        atomic_write_bytes(
+            self.done_path(job_id),
+            json.dumps({"error": error, "worker": worker_id}).encode(),
+        )
+
+    def done_info(self, job_id: str) -> dict | None:
+        try:
+            return json.loads(self.done_path(job_id).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def reset_job(self, job_id: str) -> None:
+        """Forget a completion (e.g. its cache entry was pruned) so it re-runs."""
+        for path in (self.done_path(job_id), self.lease_path(job_id)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def all_done(self) -> bool:
+        return all(self.done_path(job_id).exists() for job_id in self.job_ids())
+
+    def status(self) -> SpoolStatus:
+        total = done = running = expired = pending = failed = 0
+        for job_id in self.job_ids():
+            total += 1
+            if self.done_path(job_id).exists():
+                done += 1
+                info = self.done_info(job_id)
+                if info is not None and "error" in info:
+                    failed += 1
+                continue
+            age = self.lease_age(job_id)
+            if age is None:
+                pending += 1
+            elif age <= self.lease_ttl:
+                running += 1
+            else:
+                expired += 1
+        return SpoolStatus(
+            total=total, done=done, running=running, expired=expired,
+            pending=pending, failed=failed,
+        )
+
+
+class _LeaseHeartbeat:
+    """Touches a lease on a daemon thread while its job executes."""
+
+    def __init__(self, spool: JobSpool, job_id: str, interval: float) -> None:
+        self._spool = spool
+        self._job_id = job_id
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{job_id[:8]}", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._spool.heartbeat(self._job_id)
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+def run_worker(
+    spool: JobSpool | Path | str,
+    cache: SweepCache | None = None,
+    lease_ttl: float = 30.0,
+    heartbeat_interval: float | None = None,
+    poll_interval: float = 0.2,
+    exit_when_idle: bool = False,
+    max_jobs: int | None = None,
+    worker_id: str | None = None,
+) -> int:
+    """Serve a spool: claim → execute → publish, until told to stop.
+
+    Returns the number of jobs this worker executed.  ``exit_when_idle``
+    makes the worker exit once every spooled job has a done marker (it
+    keeps waiting while other workers hold live leases, so it can take
+    over if they die).  Workers are stateless: killing one at any point
+    loses nothing but the lease TTL.
+    """
+    if not isinstance(spool, JobSpool):
+        spool = JobSpool(spool, lease_ttl=lease_ttl)
+    cache = cache if cache is not None else SweepCache()
+    worker_id = worker_id or default_worker_id()
+    heartbeat = (
+        heartbeat_interval
+        if heartbeat_interval is not None
+        else max(spool.lease_ttl / 4.0, 0.05)
+    )
+    executed = 0
+    while max_jobs is None or executed < max_jobs:
+        job = spool.claim_next(worker_id)
+        if job is None:
+            if exit_when_idle and spool.all_done():
+                break
+            time.sleep(poll_interval)
+            continue
+        try:
+            with _LeaseHeartbeat(spool, job.job_id, heartbeat):
+                result, duration = timed_run(job.scenario)
+        except Exception as exc:
+            # Deterministic scenarios fail deterministically (unknown
+            # policy, bad kwargs): re-queueing the job would crash the
+            # next worker too, one process at a time, until the fleet is
+            # dead.  Record the failure and keep serving.
+            spool.mark_failed(
+                job.job_id, error=f"{type(exc).__name__}: {exc}",
+                worker_id=worker_id,
+            )
+            executed += 1
+            continue
+        except BaseException:
+            spool.release(job.job_id)  # shutdown: let another worker have it
+            raise
+        cache.put(cache.key(job.scenario), result)
+        spool.mark_done(
+            job.job_id, key=cache.key(job.scenario), duration=duration,
+            worker_id=worker_id,
+        )
+        executed += 1
+    return executed
+
+
+class DistributedBackend(ExecutionBackend):
+    """Execute scenarios through a shared spool and worker fleet.
+
+    ``execute`` submits jobs, optionally spawns ``local_workers`` worker
+    processes (``python -m repro.sweep worker``) against the spool, then
+    polls done markers and reads each result back from the shared cache
+    by its config hash.  Remote hosts join the same sweep by running
+    workers against the same spool and cache paths — no code changes.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        spool: Path | str,
+        cache: SweepCache | None = None,
+        lease_ttl: float = 30.0,
+        poll_interval: float = 0.05,
+        timeout: float | None = None,
+        local_workers: int = 0,
+        import_modules: tuple[str, ...] = (),
+    ) -> None:
+        self._spool_root = Path(spool)
+        self._cache = cache if cache is not None else SweepCache()
+        self._lease_ttl = lease_ttl
+        self._poll_interval = poll_interval
+        self._timeout = timeout
+        self._local_workers = local_workers
+        self._import_modules = tuple(import_modules)
+
+    @property
+    def cache(self) -> SweepCache:
+        return self._cache
+
+    def result_store(self) -> SweepCache:
+        return self._cache
+
+    @property
+    def spool_root(self) -> Path:
+        return self._spool_root
+
+    def spawn_local_worker(self, index: int = 0) -> subprocess.Popen:
+        """Start one worker subprocess against this backend's spool."""
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir if not existing else os.pathsep.join([src_dir, existing])
+        )
+        log_dir = self._spool_root / "logs"
+        log_dir.mkdir(parents=True, exist_ok=True)
+        log_path = log_dir / f"worker-{os.getpid()}-{index}.log"
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.sweep",
+            "worker",
+            "--spool", str(self._spool_root),
+            "--cache", str(self._cache.root),
+            "--lease-ttl", str(self._lease_ttl),
+            "--poll", str(max(self._poll_interval, 0.01)),
+            "--exit-when-idle",
+        ]
+        for module in self._import_modules:
+            cmd += ["--import", module]
+        with open(log_path, "ab") as log:
+            return subprocess.Popen(cmd, stdout=log, stderr=log, env=env)
+
+    def execute(self, scenarios: Sequence[Scenario]) -> list[tuple]:
+        scenarios = list(scenarios)
+        if not scenarios:
+            return []
+        spool = JobSpool(self._spool_root, lease_ttl=self._lease_ttl)
+        job_ids = [spool.submit(scenario) for scenario in scenarios]
+        workers = [
+            self.spawn_local_worker(i) for i in range(self._local_workers)
+        ]
+        try:
+            return self._collect(spool, scenarios, job_ids, workers)
+        finally:
+            for proc in workers:
+                if proc.poll() is None:
+                    proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+                    proc.wait()
+
+    def _collect(
+        self,
+        spool: JobSpool,
+        scenarios: list[Scenario],
+        job_ids: list[str],
+        workers: list[subprocess.Popen],
+    ) -> list[tuple]:
+        deadline = (
+            time.monotonic() + self._timeout if self._timeout is not None else None
+        )
+        collected: dict[str, tuple] = {}
+        outstanding = dict.fromkeys(job_ids)  # preserves order, dedupes
+        exited_strikes = 0
+        while True:
+            for job_id in [j for j in outstanding if j not in collected]:
+                info = spool.done_info(job_id)
+                if info is None:
+                    continue
+                if "error" in info:
+                    raise RuntimeError(
+                        f"job {job_id} failed on worker "
+                        f"{info.get('worker', '?')}: {info['error']} "
+                        f"(spool.reset_job({job_id!r}) re-queues it)"
+                    )
+                result = self._cache.get(info["key"], record=False)
+                if result is None:
+                    # Done marker outlived its cache entry (pruned or torn):
+                    # forget the completion so a worker recomputes it.
+                    spool.reset_job(job_id)
+                    continue
+                collected[job_id] = (result, float(info.get("duration", 0.0)))
+            if all(job_id in collected for job_id in outstanding):
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                missing = [j for j in outstanding if j not in collected]
+                raise TimeoutError(
+                    f"distributed sweep timed out with {len(missing)} of "
+                    f"{len(outstanding)} jobs outstanding (spool: "
+                    f"{self._spool_root}, first missing: {missing[0]})"
+                )
+            if workers and all(proc.poll() is not None for proc in workers):
+                # Every locally spawned worker exited with jobs outstanding
+                # (exit-when-idle only fires on a drained spool) — crashed
+                # workers would otherwise hang the submitter forever when
+                # no external fleet is attached.  A worker can also exit in
+                # the gap between our collect pass and this check, so only
+                # raise after a second pass confirms nothing new landed.
+                exited_strikes += 1
+                if exited_strikes >= 2:
+                    missing = [j for j in outstanding if j not in collected]
+                    raise RuntimeError(
+                        f"all {len(workers)} local workers exited with "
+                        f"{len(missing)} jobs outstanding; see logs under "
+                        f"{self._spool_root / 'logs'}"
+                    )
+            time.sleep(self._poll_interval)
+        return [collected[job_id] for job_id in job_ids]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistributedBackend(spool={str(self._spool_root)!r}, "
+            f"local_workers={self._local_workers})"
+        )

@@ -1,0 +1,57 @@
+"""Single-host backends: inline execution and process fan-out.
+
+``ProcessBackend`` is the fan-out that used to live inside
+``SweepEngine.run``, extracted behind the backend protocol so the engine
+no longer cares whether scenarios run inline, across local cores, or
+across hosts.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.sweep.backends.base import ExecutionBackend, timed_run
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every scenario inline in the calling process.
+
+    The reference backend: zero concurrency, zero setup cost, and the
+    ground truth other backends are compared against bit-for-bit.
+    """
+
+    name = "serial"
+
+    def execute(self, scenarios: Sequence) -> list[tuple]:
+        return [timed_run(scenario) for scenario in scenarios]
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fan scenarios out across local worker processes.
+
+    ``workers=None`` uses ``os.cpu_count()``.  Falls back to inline
+    execution when the batch (or the worker budget) is 1, so tiny sweeps
+    never pay pool startup.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self._workers = workers
+
+    def worker_budget(self, pending: int) -> int:
+        workers = self._workers if self._workers is not None else os.cpu_count() or 1
+        return max(1, min(workers, pending)) if pending else 1
+
+    def execute(self, scenarios: Sequence) -> list[tuple]:
+        scenarios = list(scenarios)
+        workers = self.worker_budget(len(scenarios))
+        if workers <= 1 or len(scenarios) <= 1:
+            return [timed_run(scenario) for scenario in scenarios]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(timed_run, scenarios))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessBackend(workers={self._workers!r})"

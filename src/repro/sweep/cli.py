@@ -1,0 +1,274 @@
+"""``python -m repro.sweep`` — drive multi-host sweeps without code.
+
+Subcommands::
+
+    submit   expand a grid into spool jobs (optionally wait for results)
+    worker   serve a spool: claim, execute, publish to the shared cache
+    status   census of a spool (pending / running / expired / done)
+    cache    stats | prune — inspect and bound the result cache
+
+A two-host sweep is two shell lines (shared storage for spool + cache)::
+
+    host-a$ python -m repro.sweep submit --spool /share/spool \\
+                --services memcached --apps kmeans+canneal \\
+                --loads 0.5,0.7,0.9 --seeds 0,1 --wait --workers 2
+    host-b$ python -m repro.sweep worker --spool /share/spool \\
+                --cache /share/cache --exit-when-idle
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from pathlib import Path
+
+from repro.sweep.backends import DistributedBackend, JobSpool, run_worker
+from repro.sweep.cache import SweepCache
+from repro.sweep.engine import SweepEngine
+from repro.sweep.grid import Scenario, SweepGrid
+
+
+def _floats(text: str) -> tuple[float, ...]:
+    return tuple(float(part) for part in text.split(",") if part)
+
+
+def _ints(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def _names(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _import_modules(names) -> None:
+    """Import policy/app modules so their registrations run in this process."""
+    for name in names or ():
+        importlib.import_module(name)
+
+
+def _cache_from(args) -> SweepCache:
+    return SweepCache(args.cache) if args.cache else SweepCache()
+
+
+def build_grid(args) -> SweepGrid:
+    base = Scenario(
+        service=args.services[0],
+        apps=args.apps[0],
+        horizon=args.horizon,
+        monitor_epoch=args.monitor_epoch,
+        slack_threshold=args.slack_threshold,
+    )
+    return SweepGrid(
+        services=args.services,
+        app_mixes=tuple(args.apps),
+        policies=args.policies,
+        load_fractions=args.loads,
+        decision_intervals=args.intervals,
+        seeds=args.seeds,
+        base=base,
+    )
+
+
+def cmd_submit(args) -> int:
+    _import_modules(args.import_modules)
+    grid = build_grid(args)
+    scenarios = grid.scenarios()
+    if not args.wait:
+        spool = JobSpool(args.spool, lease_ttl=args.lease_ttl)
+        for scenario in scenarios:
+            spool.submit(scenario)
+        status = spool.status()
+        print(
+            f"spooled {len(scenarios)} scenarios into {spool.root} "
+            f"({status.done} already done, {status.pending} pending)"
+        )
+        print(
+            "start workers with: python -m repro.sweep worker "
+            f"--spool {spool.root} --cache {_cache_from(args).root}"
+        )
+        return 0
+    cache = _cache_from(args)
+    backend = DistributedBackend(
+        args.spool,
+        cache=cache,
+        lease_ttl=args.lease_ttl,
+        timeout=args.timeout,
+        local_workers=args.workers,
+        import_modules=tuple(args.import_modules or ()),
+    )
+    engine = SweepEngine(cache=cache, backend=backend)
+    try:
+        outcomes = engine.run(grid)
+    except (RuntimeError, TimeoutError) as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    hits = sum(1 for outcome in outcomes if outcome.from_cache)
+    print(f"{len(outcomes)} scenarios complete ({hits} from cache)")
+    for outcome in outcomes:
+        source = "cache" if outcome.from_cache else f"{outcome.duration:.2f}s"
+        print(f"  {outcome.scenario.label():<60} {source}")
+    return 0
+
+
+def cmd_worker(args) -> int:
+    _import_modules(args.import_modules)
+    executed = run_worker(
+        args.spool,
+        cache=_cache_from(args),
+        lease_ttl=args.lease_ttl,
+        poll_interval=args.poll,
+        exit_when_idle=args.exit_when_idle,
+        max_jobs=args.max_jobs,
+        worker_id=args.worker_id,
+    )
+    print(f"worker drained: executed {executed} jobs")
+    return 0
+
+
+def cmd_status(args) -> int:
+    status = JobSpool(args.spool, lease_ttl=args.lease_ttl).status()
+    if args.json:
+        print(json.dumps(status.to_payload()))
+    else:
+        failed = f" ({status.failed} failed)" if status.failed else ""
+        print(
+            f"spool {Path(args.spool)}: {status.total} jobs — "
+            f"{status.done} done{failed}, {status.running} running, "
+            f"{status.expired} expired leases, {status.pending} pending"
+        )
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    stats = _cache_from(args).stats()
+    if args.json:
+        print(json.dumps(stats.to_payload()))
+    else:
+        print(
+            f"cache {_cache_from(args).root}: {stats.entries} entries, "
+            f"{stats.total_bytes} bytes, "
+            f"{stats.hits} hits / {stats.misses} misses "
+            f"({100 * stats.hit_rate:.1f}% lifetime hit rate)"
+        )
+    return 0
+
+
+def cmd_cache_prune(args) -> int:
+    if args.older_than is None and args.max_bytes is None:
+        print("nothing to do: pass --older-than and/or --max-bytes", file=sys.stderr)
+        return 2
+    pruned = _cache_from(args).prune(
+        older_than=args.older_than, max_bytes=args.max_bytes
+    )
+    if args.json:
+        print(json.dumps(pruned.to_payload()))
+    else:
+        print(
+            f"pruned {pruned.removed} entries ({pruned.freed_bytes} bytes); "
+            f"{pruned.remaining} entries ({pruned.remaining_bytes} bytes) remain"
+        )
+    return 0
+
+
+def _add_cache_arg(parser) -> None:
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: REPRO_SWEEP_CACHE or "
+        "~/.cache/repro-pliant/sweeps)",
+    )
+
+
+def _add_spool_args(parser) -> None:
+    parser.add_argument("--spool", required=True, metavar="DIR",
+                        help="shared spool directory (jobs/leases/done)")
+    parser.add_argument("--lease-ttl", type=float, default=30.0, metavar="SEC",
+                        help="heartbeats older than this mark a worker dead")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Distributed sweep control plane: submit scenario grids, "
+        "run workers, inspect spool and cache state.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser("submit", help="expand a grid into spool jobs")
+    _add_spool_args(submit)
+    _add_cache_arg(submit)
+    submit.add_argument("--services", type=_names, default=("memcached",),
+                        metavar="A,B", help="comma-separated service names")
+    submit.add_argument("--apps", action="append", type=lambda s: tuple(s.split("+")),
+                        metavar="APP[+APP...]", required=True,
+                        help="one app mix per flag; '+' joins apps in a mix")
+    submit.add_argument("--policies", type=_names, default=("pliant",),
+                        metavar="P,Q")
+    submit.add_argument("--loads", type=_floats, default=(0.775,), metavar="F,F")
+    submit.add_argument("--intervals", type=_floats, default=(1.0,), metavar="S,S")
+    submit.add_argument("--seeds", type=_ints, default=(0,), metavar="N,N")
+    submit.add_argument("--horizon", type=float, default=400.0)
+    submit.add_argument("--monitor-epoch", type=float, default=0.1)
+    submit.add_argument("--slack-threshold", type=float, default=0.10)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until every result is in the cache")
+    submit.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="with --wait: also spawn N local workers")
+    submit.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="with --wait: give up after this long")
+    submit.add_argument("--import", dest="import_modules", action="append",
+                        metavar="MODULE",
+                        help="import MODULE first (custom policy registration)")
+    submit.set_defaults(func=cmd_submit)
+
+    worker = sub.add_parser("worker", help="serve a spool until drained/killed")
+    _add_spool_args(worker)
+    _add_cache_arg(worker)
+    worker.add_argument("--poll", type=float, default=0.2, metavar="SEC",
+                        help="idle sleep between claim attempts")
+    worker.add_argument("--exit-when-idle", action="store_true",
+                        help="exit once every spooled job is done")
+    worker.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after executing N jobs")
+    worker.add_argument("--worker-id", default=None,
+                        help="override the hostname-pid worker id")
+    worker.add_argument("--import", dest="import_modules", action="append",
+                        metavar="MODULE",
+                        help="import MODULE first (custom policy registration)")
+    worker.set_defaults(func=cmd_worker)
+
+    status = sub.add_parser("status", help="census of a spool")
+    _add_spool_args(status)
+    status.add_argument("--json", action="store_true")
+    status.set_defaults(func=cmd_status)
+
+    cache = sub.add_parser("cache", help="inspect or bound the result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    stats = cache_sub.add_parser("stats", help="entries, bytes, hit rate")
+    _add_cache_arg(stats)
+    stats.add_argument("--json", action="store_true")
+    stats.set_defaults(func=cmd_cache_stats)
+
+    prune = cache_sub.add_parser("prune", help="evict entries (LRU by mtime)")
+    _add_cache_arg(prune)
+    prune.add_argument("--older-than", type=float, default=None, metavar="SEC",
+                       help="evict entries unused for this many seconds")
+    prune.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                       help="evict least-recently-used entries past N bytes")
+    prune.add_argument("--json", action="store_true")
+    prune.set_defaults(func=cmd_cache_prune)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,19 +1,18 @@
-"""The parallel sweep engine.
+"""The sweep engine: a facade over pluggable execution backends.
 
 ``SweepEngine.run`` takes a :class:`~repro.sweep.grid.SweepGrid` (or any
-iterable of scenarios), satisfies what it can from the result cache, fans
-the misses out across worker processes, and returns outcomes in grid
-order.  Scenario results are a pure function of the scenario config —
-every random stream inside a run derives from the scenario's own seed via
-:mod:`repro.rng` — so serial and parallel execution are bit-identical and
-caching is sound.
+iterable of scenarios), satisfies what it can from the result cache,
+hands the misses to an :class:`~repro.sweep.backends.ExecutionBackend`
+(inline, local process pool, or a distributed broker/worker queue), and
+returns outcomes in grid order.  Scenario results are a pure function of
+the scenario config — every random stream inside a run derives from the
+scenario's own seed via :mod:`repro.rng` — so every backend produces
+bit-identical results and caching is sound.
 """
 
 from __future__ import annotations
 
 import os
-import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -25,12 +24,14 @@ from repro.core.baselines import (
 )
 from repro.core.policy import PliantPolicy, RuntimePolicy
 from repro.core.runtime import ColocationResult
+from repro.sweep.backends import ExecutionBackend, ProcessBackend, SerialBackend
 from repro.sweep.cache import SweepCache
 from repro.sweep.grid import Scenario, SweepGrid
 
 #: Builders from (scenario, kwargs) to a policy instance.  Keyed by the
 #: policy's display name so ``Scenario.policy`` round-trips through
-#: ``RuntimePolicy.name``.
+#: ``RuntimePolicy.name``.  Backing store for :func:`register_policy` —
+#: prefer the function over mutating this dict directly.
 POLICY_REGISTRY: dict[str, Callable[[Scenario, dict], RuntimePolicy]] = {
     "pliant": lambda sc, kw: PliantPolicy(seed=sc.seed, **kw),
     "precise": lambda sc, kw: PrecisePolicy(),
@@ -40,6 +41,37 @@ POLICY_REGISTRY: dict[str, Callable[[Scenario, dict], RuntimePolicy]] = {
 }
 
 
+def register_policy(
+    name: str,
+    builder: Callable[[Scenario, dict], RuntimePolicy],
+    overwrite: bool = False,
+) -> Callable[[Scenario, dict], RuntimePolicy]:
+    """Register a policy builder under ``name`` for scenarios to reference.
+
+    ``builder(scenario, kwargs)`` must return a fresh policy instance.
+    Scenarios carry only the *name* (plus JSON-safe kwargs), which is what
+    lets them travel to remote workers: a worker re-resolves the name at
+    execution time, so the module calling ``register_policy`` must be
+    importable there too (``python -m repro.sweep worker --import
+    your.module``).  Returns ``builder`` so it can be used as a decorator
+    via ``functools.partial(register_policy, "name")``.
+    """
+    if not callable(builder):
+        raise TypeError(f"policy builder for {name!r} must be callable")
+    if not overwrite and name in POLICY_REGISTRY:
+        raise ValueError(
+            f"policy {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    POLICY_REGISTRY[name] = builder
+    return builder
+
+
+def registered_policies() -> tuple[str, ...]:
+    """Sorted names of every registered policy."""
+    return tuple(sorted(POLICY_REGISTRY))
+
+
 def make_policy(scenario: Scenario) -> RuntimePolicy:
     """Instantiate the policy a scenario names."""
     try:
@@ -47,7 +79,11 @@ def make_policy(scenario: Scenario) -> RuntimePolicy:
     except KeyError:
         known = ", ".join(sorted(POLICY_REGISTRY))
         raise ValueError(
-            f"unknown policy {scenario.policy!r} (known: {known})"
+            f"unknown policy {scenario.policy!r} (known: {known}); "
+            "custom policies must be registered with "
+            "repro.sweep.register_policy(name, builder) — and the "
+            "registering module imported inside remote workers "
+            "(worker --import)"
         ) from None
     return builder(scenario, dict(scenario.policy_kwargs))
 
@@ -66,12 +102,6 @@ def run_scenario(scenario: Scenario) -> ColocationResult:
         exploration_seed=scenario.exploration_seed,
     )
     return engine.run()
-
-
-def _timed_run(scenario: Scenario) -> tuple[ColocationResult, float]:
-    start = time.perf_counter()
-    result = run_scenario(scenario)
-    return result, time.perf_counter() - start
 
 
 def results_identical(a: ColocationResult, b: ColocationResult) -> bool:
@@ -134,35 +164,59 @@ class SweepOutcome:
 
 
 class SweepEngine:
-    """Fans a scenario grid out across processes, memoizing results.
+    """Facade: cache probing + an execution backend, in grid order.
 
     Parameters
     ----------
     workers:
-        Worker process count.  ``None`` uses ``os.cpu_count()``;  ``0`` or
-        ``1`` runs inline in this process (no pool).  Parallelism never
+        Worker process count for the *default local* backend.  ``None``
+        uses ``os.cpu_count()``; ``0`` or ``1`` runs inline (serial
+        backend).  Ignored when ``backend`` is given.  Parallelism never
         changes results — only wall-clock.
     cache:
         A :class:`SweepCache` to memoize results in, or ``None`` (default)
         to recompute every scenario.  Benchmarks pass an explicit cache so
         reruns are near-free; unit tests default to uncached runs.
+    backend:
+        An explicit :class:`~repro.sweep.backends.ExecutionBackend`
+        (e.g. :class:`~repro.sweep.backends.DistributedBackend` for
+        multi-host fan-out).  ``None`` picks
+        :class:`~repro.sweep.backends.SerialBackend` or
+        :class:`~repro.sweep.backends.ProcessBackend` from ``workers``.
     """
 
     def __init__(
         self,
         workers: int | None = None,
         cache: SweepCache | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self._workers = workers
         self._cache = cache
+        self._backend = backend
 
     @property
     def cache(self) -> SweepCache | None:
         return self._cache
 
+    @property
+    def backend(self) -> ExecutionBackend | None:
+        """The explicit backend, or ``None`` when resolved per-run."""
+        return self._backend
+
     def effective_workers(self, pending: int) -> int:
         workers = self._workers if self._workers is not None else os.cpu_count() or 1
         return max(1, min(workers, pending)) if pending else 1
+
+    def resolve_backend(self, pending: int) -> ExecutionBackend:
+        """The backend a run with ``pending`` cache misses would use."""
+        if self._backend is not None:
+            return self._backend
+        if self.effective_workers(pending) <= 1 or pending <= 1:
+            return SerialBackend()
+        # The backend applies the pending/cpu clamp itself (worker_budget
+        # is the same rule as effective_workers) — don't clamp twice.
+        return ProcessBackend(self._workers)
 
     def run(
         self,
@@ -192,17 +246,18 @@ class SweepEngine:
             else:
                 pending.append((index, scenario))
 
-        workers = self.effective_workers(len(pending))
         if pending:
-            if workers <= 1 or len(pending) == 1:
-                computed = [_timed_run(scenario) for _, scenario in pending]
-            else:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    computed = list(
-                        pool.map(_timed_run, [s for _, s in pending])
-                    )
+            backend = self.resolve_backend(len(pending))
+            computed = backend.execute([s for _, s in pending])
+            # Skip the write-back when the backend's workers already
+            # published into this very cache (same root): re-pickling
+            # every distributed result would double the disk traffic.
+            store = backend.result_store()
+            write_back = self._cache is not None and (
+                store is None or store.root != self._cache.root
+            )
             for (index, scenario), (result, duration) in zip(pending, computed):
-                if self._cache is not None:
+                if write_back:
                     self._cache.put(self._cache.key(scenario), result)
                 outcomes[index] = SweepOutcome(
                     scenario=scenario,

@@ -79,6 +79,47 @@ class Scenario:
             "exploration_seed": int(self.exploration_seed),
         }
 
+    def to_payload(self) -> dict:
+        """JSON-serializable form that :meth:`from_payload` inverts.
+
+        This is how scenarios travel to remote workers through a job
+        spool, so ``policy_kwargs`` values must themselves be
+        JSON-serializable (tuples come back as lists — registered policy
+        builders must accept either).
+        """
+        return {
+            "service": self.service,
+            "apps": list(self.apps),
+            "policy": self.policy,
+            "policy_kwargs": [[k, v] for k, v in self.policy_kwargs],
+            "load_fraction": float(self.load_fraction),
+            "decision_interval": float(self.decision_interval),
+            "monitor_epoch": float(self.monitor_epoch),
+            "slack_threshold": float(self.slack_threshold),
+            "horizon": float(self.horizon),
+            "seed": int(self.seed),
+            "stop_when_apps_done": bool(self.stop_when_apps_done),
+            "exploration_seed": int(self.exploration_seed),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_payload` output."""
+        return cls(
+            service=payload["service"],
+            apps=tuple(payload["apps"]),
+            policy=payload["policy"],
+            policy_kwargs=tuple((k, v) for k, v in payload["policy_kwargs"]),
+            load_fraction=float(payload["load_fraction"]),
+            decision_interval=float(payload["decision_interval"]),
+            monitor_epoch=float(payload["monitor_epoch"]),
+            slack_threshold=float(payload["slack_threshold"]),
+            horizon=float(payload["horizon"]),
+            seed=int(payload["seed"]),
+            stop_when_apps_done=bool(payload["stop_when_apps_done"]),
+            exploration_seed=int(payload["exploration_seed"]),
+        )
+
     def label(self) -> str:
         """Short human-readable identifier for logs and tables."""
         apps = "+".join(self.apps)

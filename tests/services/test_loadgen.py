@@ -1,8 +1,15 @@
 """Open-loop load generators."""
 
+import numpy as np
 import pytest
 
-from repro.services.loadgen import BurstyLoad, ConstantLoad, DiurnalLoad, StepLoad
+from repro.services.loadgen import (
+    BurstyLoad,
+    ConstantLoad,
+    DiurnalLoad,
+    LoadGenerator,
+    StepLoad,
+)
 
 
 class TestConstant:
@@ -69,3 +76,66 @@ class TestBursty:
     def test_rejects_bad_duration(self):
         with pytest.raises(ValueError):
             BurstyLoad(base_qps=1, burst_qps=2, burst_period=5, burst_duration=6)
+
+
+#: One representative of each generator, for vectorization parity checks.
+GENERATORS = [
+    ConstantLoad(250.0),
+    StepLoad(steps=((0.0, 100.0), (10.0, 300.0), (20.0, 50.0))),
+    DiurnalLoad(low_qps=100, high_qps=300, period=60, phase=0.3),
+    BurstyLoad(base_qps=100, burst_qps=500, burst_period=10, burst_duration=2),
+]
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("gen", GENERATORS, ids=lambda g: type(g).__name__)
+    def test_array_matches_scalar(self, gen):
+        times = np.linspace(-1.0, 75.0, 400)
+        vector = gen.qps_at_array(times)
+        scalar = np.array([gen.qps_at(float(t)) for t in times])
+        np.testing.assert_allclose(vector, scalar, rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("gen", GENERATORS, ids=lambda g: type(g).__name__)
+    def test_array_shape_and_dtype(self, gen):
+        out = gen.qps_at_array([0.0, 1.0, 2.0])
+        assert out.shape == (3,)
+        assert out.dtype == np.float64
+
+    @pytest.mark.parametrize("gen", GENERATORS, ids=lambda g: type(g).__name__)
+    def test_mean_matches_scalar_loop(self, gen):
+        horizon, resolution = 33.0, 0.1
+        steps = max(1, int(horizon / resolution))
+        expected = sum(
+            gen.qps_at(i * horizon / steps) for i in range(steps)
+        ) / steps
+        assert gen.mean_qps(horizon, resolution) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_base_class_fallback_loops(self):
+        class Ramp(LoadGenerator):
+            def qps_at(self, time: float) -> float:
+                return 2.0 * time
+
+        out = Ramp().qps_at_array([0.0, 1.0, 2.5])
+        np.testing.assert_allclose(out, [0.0, 2.0, 5.0])
+        assert Ramp().mean_qps(10.0) == pytest.approx(10.0 - 0.1)
+
+
+class TestStepBisect:
+    def test_boundary_equality_takes_new_level(self):
+        gen = StepLoad(steps=((0.0, 100.0), (10.0, 300.0)))
+        assert gen.qps_at(10.0) == 300.0
+
+    def test_duplicate_start_times_last_wins(self):
+        gen = StepLoad(steps=((0.0, 100.0), (5.0, 200.0), (5.0, 400.0)))
+        assert gen.qps_at(5.0) == 400.0
+        assert gen.qps_at(6.0) == 400.0
+        assert gen.qps_at(4.0) == 100.0
+
+    def test_large_schedule_lookup(self):
+        steps = tuple((float(i), float(i * 10)) for i in range(1000))
+        gen = StepLoad(steps=steps)
+        assert gen.qps_at(500.5) == 5000.0
+        assert gen.qps_at(999.9) == 9990.0
+        assert gen.qps_at(-0.1) == 0.0

@@ -134,6 +134,95 @@ class TestRoundTrip:
         assert SweepCache().root == tmp_path / "env-cache"
 
 
+class TestStatsAndPrune:
+    def test_stats_empty_cache(self, cache):
+        stats = cache.stats()
+        assert (stats.entries, stats.total_bytes) == (0, 0)
+        assert stats.hit_rate == 0.0
+
+    def test_stats_counts_entries_and_bytes(self, cache):
+        for seed in range(3):
+            cache.put(cache.key(_scenario(seed=seed)), "x" * 100)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes > 300
+
+    def test_hit_rate_persists_across_instances(self, tmp_path):
+        first = SweepCache(tmp_path / "sweeps")
+        key = first.key(_scenario())
+        first.put(key, "value")
+        first.get(key)                      # hit
+        first.get(first.key(_scenario(seed=9)))  # miss
+        first.flush_stats()  # normally at exit or every 64th lookup
+        fresh = SweepCache(tmp_path / "sweeps")
+        stats = fresh.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_counters_flush_automatically_at_threshold(self, tmp_path):
+        recorder = SweepCache(tmp_path / "sweeps")
+        missing = recorder.key(_scenario(seed=99))
+        for _ in range(SweepCache.STATS_FLUSH_EVERY):
+            recorder.get(missing)
+        observer = SweepCache(tmp_path / "sweeps")
+        assert observer.stats().misses == SweepCache.STATS_FLUSH_EVERY
+
+    def test_unrecorded_reads_skip_counters(self, cache):
+        key = cache.key(_scenario())
+        cache.put(key, "value")
+        assert cache.get(key, record=False) == "value"
+        assert cache.get("0" * 32, record=False) is None
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_prune_older_than(self, cache):
+        import os
+        import time
+
+        old_key = cache.key(_scenario(seed=1))
+        new_key = cache.key(_scenario(seed=2))
+        cache.put(old_key, "old")
+        cache.put(new_key, "new")
+        stale = time.time() - 3600.0
+        os.utime(cache.path(old_key), (stale, stale))
+        pruned = cache.prune(older_than=60.0)
+        assert pruned.removed == 1
+        assert old_key not in cache
+        assert new_key in cache
+
+    def test_prune_max_bytes_evicts_lru(self, cache):
+        import os
+        import time
+
+        keys = [cache.key(_scenario(seed=seed)) for seed in range(3)]
+        for index, key in enumerate(keys):
+            cache.put(key, "x" * 1000)
+            past = time.time() - 100.0 + index
+            os.utime(cache.path(key), (past, past))
+        # Reading the oldest entry refreshes it: it must survive the prune.
+        assert cache.get(keys[0]) == "x" * 1000
+        entry_size = cache.path(keys[0]).stat().st_size
+        pruned = cache.prune(max_bytes=entry_size + 10)
+        assert pruned.removed == 2
+        assert keys[0] in cache
+        assert keys[1] not in cache and keys[2] not in cache
+
+    def test_prune_reports_remaining(self, cache):
+        cache.put(cache.key(_scenario()), "value")
+        result = cache.prune(older_than=3600.0)
+        assert result.removed == 0
+        assert result.remaining == 1
+        assert result.remaining_bytes > 0
+
+    def test_prune_spares_bookkeeping_files(self, cache):
+        key = cache.key(_scenario())
+        cache.put(key, "value")
+        cache.get(key)  # creates stats.json
+        cache.prune(older_than=0.0, max_bytes=0)
+        assert cache.entry_count() == 0
+        stats = cache.stats()
+        assert stats.hits == 1  # counters survived the prune
+
+
 class TestCorruptionRecovery:
     def test_truncated_entry_treated_as_miss_and_deleted(self, cache):
         key = cache.key(_scenario())

@@ -8,10 +8,12 @@ from repro.sweep import (
     SweepCache,
     SweepEngine,
     SweepGrid,
+    register_policy,
+    registered_policies,
     results_identical,
     run_scenario,
 )
-from repro.sweep.engine import make_policy
+from repro.sweep.engine import POLICY_REGISTRY, make_policy
 
 #: Short-horizon scenario template: fast but long enough for decisions.
 BASE = Scenario(service="mongodb", apps=("kmeans",), horizon=60.0, seed=4)
@@ -49,6 +51,71 @@ class TestPolicyRegistry:
         scenario = Scenario(service="nginx", apps=("kmeans",), policy="nope")
         with pytest.raises(ValueError, match="pliant"):
             make_policy(scenario)
+
+    def test_unknown_policy_error_mentions_registration(self):
+        scenario = Scenario(service="nginx", apps=("kmeans",), policy="nope")
+        with pytest.raises(ValueError, match="register_policy"):
+            make_policy(scenario)
+
+
+class TestRegisterPolicy:
+    @pytest.fixture(autouse=True)
+    def _restore_registry(self):
+        before = dict(POLICY_REGISTRY)
+        yield
+        POLICY_REGISTRY.clear()
+        POLICY_REGISTRY.update(before)
+
+    def test_registered_policy_resolves_by_name(self):
+        from repro.core.baselines import PrecisePolicy
+
+        register_policy("custom-precise", lambda sc, kw: PrecisePolicy())
+        scenario = Scenario(
+            service="nginx", apps=("kmeans",), policy="custom-precise"
+        )
+        assert make_policy(scenario).name == "precise"
+        assert "custom-precise" in registered_policies()
+
+    def test_builder_sees_scenario_and_kwargs(self):
+        from repro.core.baselines import CoreReclaimOnlyPolicy
+
+        seen = {}
+
+        def builder(scenario, kwargs):
+            seen["seed"] = scenario.seed
+            seen["kwargs"] = kwargs
+            return CoreReclaimOnlyPolicy(**kwargs)
+
+        register_policy("spy", builder)
+        scenario = Scenario(
+            service="nginx",
+            apps=("kmeans",),
+            policy="spy",
+            policy_kwargs=(("slack_threshold", 0.2),),
+            seed=11,
+        )
+        make_policy(scenario)
+        assert seen == {"seed": 11, "kwargs": {"slack_threshold": 0.2}}
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("pliant", lambda sc, kw: None)
+
+    def test_overwrite_allowed_explicitly(self):
+        from repro.core.baselines import PrecisePolicy
+
+        register_policy("pliant", lambda sc, kw: PrecisePolicy(), overwrite=True)
+        scenario = Scenario(service="nginx", apps=("kmeans",), policy="pliant")
+        assert make_policy(scenario).name == "precise"
+
+    def test_non_callable_builder_rejected(self):
+        with pytest.raises(TypeError, match="callable"):
+            register_policy("broken", "not-a-builder")
+
+    def test_registered_policies_sorted(self):
+        names = registered_policies()
+        assert list(names) == sorted(names)
+        assert "pliant" in names
 
 
 class TestDeterminism:
