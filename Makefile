@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-figs sweep-smoke lint
+.PHONY: test bench bench-check bench-figs sweep-smoke lint
 
 ## Tier-1: fast unit/integration suite (the gate for every PR).
 test:
@@ -25,6 +25,10 @@ sweep-smoke:
 ## Full figure-reproduction drivers (Figs. 1-10, ~minutes).
 bench-figs:
 	$(PY) -m pytest benchmarks -m benchmark -q
+
+## Trajectory hygiene: BENCH_sweep.json parses and is monotone-appended.
+bench-check:
+	$(PY) scripts/bench_check.py
 
 ## Import/syntax floor: byte-compile everything (no linter is vendored).
 lint:

@@ -1,10 +1,11 @@
 """Shared machinery for the figure/table benchmarks.
 
-All colocation runs go through one process-wide :class:`SweepEngine`
-backed by the on-disk :class:`SweepCache`, so figure drivers share work
-within a pytest session (via the ``lru_cache`` layer) *and* across
-sessions (via the content-addressed result cache) — a benchmark rerun
-with unchanged configs is almost entirely disk reads.
+All colocation runs go through :func:`repro.experiment.run_experiment`
+against one process-wide :class:`SweepEngine` backed by the on-disk
+:class:`SweepCache`, so figure drivers share work within a pytest
+session (via the ``lru_cache`` layer) *and* across sessions (via the
+content-addressed result cache) — a benchmark rerun with unchanged
+configs is almost entirely disk reads.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from repro.apps import ALL_APP_NAMES, make_app
 from repro.cas import atomic_write_bytes
 from repro.cluster import ladder_for
 from repro.core.runtime import ColocationConfig, ColocationResult
+from repro.experiment import ExperimentSpec, ResultSet, run_experiment
 from repro.sweep import Scenario, SweepCache, SweepEngine, backend_from_env
 
 SERVICES = ("nginx", "memcached", "mongodb")
@@ -54,19 +56,42 @@ def scenario(service: str, apps, policy: str = "pliant", **kwargs) -> Scenario:
     return Scenario(service=service, apps=tuple(apps), policy=policy, **merged)
 
 
+def bench_spec(name: str, base: dict | None = None, axes: dict | None = None) -> ExperimentSpec:
+    """A benchmark experiment spec: seed 2 unless the base overrides it."""
+    merged = {"seed": SEED}
+    merged.update(base or {})
+    return ExperimentSpec(name=name, base=merged, axes=axes or {})
+
+
+def run_spec(spec: ExperimentSpec, force: bool = False) -> ResultSet:
+    """Run a spec through the shared engine (cache + env backend)."""
+    return run_experiment(spec, engine=ENGINE, force=force)
+
+
+def run_point(force: bool = False, **fields) -> ColocationResult:
+    """One scenario through the shared engine; seed 2 unless overridden."""
+    merged = {"seed": SEED}
+    merged.update(fields)
+    return run_experiment([Scenario(**merged)], engine=ENGINE, force=force)[0].result
+
+
 @lru_cache(maxsize=256)
 def run_pair(service: str, app: str) -> tuple[ColocationResult, ColocationResult]:
     """(precise, pliant) results for a single-app colocation at 77.5% load."""
-    outcomes = ENGINE.run(
-        [scenario(service, (app,), "precise"), scenario(service, (app,), "pliant")]
+    results = run_spec(
+        bench_spec(
+            f"pair/{service}/{app}",
+            base={"service": service, "apps": (app,)},
+            axes={"policy": ("precise", "pliant")},
+        )
     )
-    return outcomes[0].result, outcomes[1].result
+    return results.lookup(policy="precise"), results.lookup(policy="pliant")
 
 
 @lru_cache(maxsize=1024)
 def run_pliant_mix(service: str, apps: tuple[str, ...]) -> ColocationResult:
     """Pliant run for a multi-app mix."""
-    return ENGINE.run_one(scenario(service, apps, "pliant"))
+    return run_point(service=service, apps=apps, policy="pliant")
 
 
 def app_overhead(app_name: str) -> float:
@@ -118,10 +143,13 @@ __all__ = [
     "SERVICES",
     "SERVICE_UNITS",
     "app_overhead",
+    "bench_spec",
     "config",
     "ladder",
     "record_bench",
     "run_pair",
     "run_pliant_mix",
+    "run_point",
+    "run_spec",
     "scenario",
 ]

@@ -6,16 +6,9 @@ alone, static most-approximate pinning, and the Section 6.5 impact-aware
 arbiter on a 2-app mix.
 """
 
-from repro.cluster import build_engine
-from repro.core import (
-    CoreReclaimOnlyPolicy,
-    ImpactAwareArbiter,
-    PliantPolicy,
-    StaticMostApproxPolicy,
-)
 from repro.viz import format_table
 
-from benchmarks._common import config
+from benchmarks._common import bench_spec, run_spec
 
 import pytest
 
@@ -23,30 +16,39 @@ pytestmark = pytest.mark.benchmark
 
 PAIRS = (("memcached", "canneal"), ("nginx", "kmeans"), ("mongodb", "snp"))
 
-
-def _run(service, apps, policy):
-    engine = build_engine(service, list(apps), policy, config=config())
-    return engine.run()
+#: Registry name -> the row label DESIGN.md uses.
+SINGLE_LEVER = (
+    ("pliant", "pliant"),
+    ("core-reclaim-only", "cores-only"),
+    ("static-most-approx", "static-max"),
+)
+ARBITERS = (("pliant", "round-robin"), ("pliant-impact", "impact-aware"))
 
 
 def test_ablation_policies(benchmark, capsys):
     def run_all():
         out = {}
         for service, app in PAIRS:
+            results = run_spec(
+                bench_spec(
+                    f"ablation-{service}-{app}",
+                    base={"service": service, "apps": (app,)},
+                    axes={"policy": tuple(p for p, _ in SINGLE_LEVER)},
+                )
+            )
             out[(service, app)] = {
-                "pliant": _run(service, [app], PliantPolicy(seed=2)),
-                "cores-only": _run(service, [app], CoreReclaimOnlyPolicy()),
-                "static-max": _run(service, [app], StaticMostApproxPolicy()),
+                label: results.lookup(policy=policy)
+                for policy, label in SINGLE_LEVER
             }
+        results = run_spec(
+            bench_spec(
+                "ablation-arbiters",
+                base={"service": "nginx", "apps": ("canneal", "bayesian")},
+                axes={"policy": tuple(p for p, _ in ARBITERS)},
+            )
+        )
         out[("nginx", "canneal+bayesian")] = {
-            "round-robin": _run(
-                "nginx", ["canneal", "bayesian"], PliantPolicy(seed=2)
-            ),
-            "impact-aware": _run(
-                "nginx",
-                ["canneal", "bayesian"],
-                PliantPolicy(seed=2, arbiter=ImpactAwareArbiter()),
-            ),
+            label: results.lookup(policy=policy) for policy, label in ARBITERS
         }
         return out
 

@@ -14,8 +14,9 @@ from repro.viz import format_table
 from benchmarks._common import (
     ALL_APP_NAMES,
     SERVICES,
+    bench_spec,
     run_pair,
-    run_pliant_mix,
+    run_spec,
 )
 
 import pytest
@@ -25,10 +26,19 @@ pytestmark = pytest.mark.benchmark
 
 def _results_for(service):
     results = [run_pair(service, app)[1] for app in ALL_APP_NAMES]
-    for arity, sample in ((2, 14), (3, 10)):
-        for mix in combination_mixes(ALL_APP_NAMES, arity, sample=sample, seed=17):
-            results.append(run_pliant_mix(service, mix))
-    return results
+    mixes = [
+        mix
+        for arity, sample in ((2, 14), (3, 10))
+        for mix in combination_mixes(ALL_APP_NAMES, arity, sample=sample, seed=17)
+    ]
+    batch = run_spec(
+        bench_spec(
+            f"fig10-{service}-mixes",
+            base={"service": service},
+            axes={"apps": mixes},
+        )
+    )
+    return results + batch.results
 
 
 def test_fig10_breakdown(benchmark, capsys):

@@ -12,24 +12,22 @@ bypassed) — the cost Section 4.1 says is paid once per application.
 import pytest
 
 from repro.apps import ALL_APP_NAMES, make_app
-from repro.cluster import build_engine
-from repro.core import StaticLevelPolicy
 from repro.exploration import DesignSpaceExplorer
 from repro.viz import format_table
 
-from benchmarks._common import SERVICES, config, ladder
+from benchmarks._common import SERVICES, ladder, run_point
 
 pytestmark = pytest.mark.benchmark
 
 
 def _static_ratio(service: str, app: str, level: int) -> float:
-    engine = build_engine(
-        service,
-        [app],
-        StaticLevelPolicy({app: level}),
-        config=config(),
+    result = run_point(
+        service=service,
+        apps=(app,),
+        policy="static-level",
+        policy_kwargs=(("levels", ((app, level),)),),
     )
-    return engine.run().qos_ratio
+    return result.qos_ratio
 
 
 def test_fig1_design_space(benchmark, capsys):

@@ -18,19 +18,14 @@ FIG4_APPS = ("canneal", "raytrace", "bayesian", "snp")
 
 
 def test_fig4_dynamic_behavior(benchmark, capsys):
-    # Benchmark one representative colocation run end-to-end (cold cache
-    # bypass via a distinct seed would re-run exploration; we measure the
-    # engine itself).
-    from repro.cluster import build_engine
-    from repro.core import PliantPolicy
-
-    from benchmarks._common import config
+    # Benchmark one representative colocation run end-to-end; force=True
+    # bypasses cache reads so the engine itself is what gets measured.
+    from benchmarks._common import run_point
 
     def one_run():
-        engine = build_engine(
-            "nginx", ["canneal"], PliantPolicy(seed=3), config=config(seed=3)
+        return run_point(
+            service="nginx", apps=("canneal",), seed=3, force=True
         )
-        return engine.run()
 
     benchmark.pedantic(one_run, rounds=1, iterations=1)
 

@@ -16,7 +16,8 @@ from benchmarks._common import (
     SERVICES,
     SERVICE_UNITS,
     app_overhead,
-    run_pair,
+    bench_spec,
+    run_spec,
 )
 
 import pytest
@@ -25,9 +26,27 @@ pytestmark = pytest.mark.benchmark
 
 
 def test_fig5_aggregate(benchmark, capsys):
+    # One spec covers the whole matrix (3 services x 24 apps x 2
+    # policies), so the engine fans the 144 scenarios out in one batch
+    # instead of pair by pair.
+    spec = bench_spec(
+        "fig5-aggregate",
+        axes={
+            "service": SERVICES,
+            "apps": ALL_APP_NAMES,
+            "policy": ("precise", "pliant"),
+        },
+    )
+
     def full_matrix():
+        results = run_spec(spec)
         return [
-            summarize_pair(*run_pair(service, app), app, app_overhead(app))
+            summarize_pair(
+                results.lookup(service=service, apps=(app,), policy="precise"),
+                results.lookup(service=service, apps=(app,), policy="pliant"),
+                app,
+                app_overhead(app),
+            )
             for service in SERVICES
             for app in ALL_APP_NAMES
         ]

@@ -7,7 +7,7 @@ claim: neither application sacrifices disproportionately.
 
 from repro.viz import format_timeline
 
-from benchmarks._common import SERVICES, ladder, run_pliant_mix
+from benchmarks._common import SERVICES, bench_spec, ladder, run_spec
 
 import pytest
 
@@ -17,11 +17,15 @@ MIX = ("canneal", "bayesian")
 
 
 def test_fig6_multiapp_dynamic(benchmark, capsys):
-    results = benchmark.pedantic(
-        lambda: {s: run_pliant_mix(s, MIX) for s in SERVICES},
-        rounds=1,
-        iterations=1,
+    spec = bench_spec(
+        "fig6-multiapp", base={"apps": MIX}, axes={"service": SERVICES}
     )
+
+    def sweep():
+        results = run_spec(spec)
+        return {service: results.lookup(service=service) for service in SERVICES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     with capsys.disabled():
         print()

@@ -17,8 +17,9 @@ from repro.viz import format_table
 from benchmarks._common import (
     ALL_APP_NAMES,
     SERVICES,
+    bench_spec,
     run_pair,
-    run_pliant_mix,
+    run_spec,
 )
 
 import pytest
@@ -49,15 +50,23 @@ def _collect(service):
         mixes = combination_mixes(
             ALL_APP_NAMES, arity, sample=_SAMPLES[arity], seed=13
         )
+        # One spec per arity: the whole mix batch fans out together.
+        results = run_spec(
+            bench_spec(
+                f"fig7-{service}-{arity}way",
+                base={"service": service},
+                axes={"apps": mixes},
+            )
+        )
         ratios, rels, inaccs = [], [], []
-        for mix in mixes:
-            result = run_pliant_mix(service, mix)
-            ratios.append(result.qos_ratio)
-            for app in mix:
-                outcome = result.app_outcome(app)
-                if outcome.finish_time and baselines[app]:
-                    rels.append(outcome.finish_time / baselines[app])
-                inaccs.append(outcome.inaccuracy_pct)
+        for scenario_result in results.results:
+            ratios.append(scenario_result.qos_ratio)
+            for app_outcome in scenario_result.apps:
+                if app_outcome.finish_time and baselines[app_outcome.name]:
+                    rels.append(
+                        app_outcome.finish_time / baselines[app_outcome.name]
+                    )
+                inaccs.append(app_outcome.inaccuracy_pct)
         data[arity] = (ratios, rels, inaccs)
     return data
 

@@ -14,10 +14,15 @@ import numpy as np
 import pytest
 
 from repro.services import make_service
-from repro.sweep import SweepGrid
 from repro.viz import format_table
 
-from benchmarks._common import ENGINE, SEED, SERVICES, record_bench, scenario
+from benchmarks._common import (
+    SERVICES,
+    bench_spec,
+    record_bench,
+    run_point,
+    run_spec,
+)
 
 pytestmark = pytest.mark.benchmark
 
@@ -25,17 +30,14 @@ SWEEP_APPS = ("canneal", "kmeans", "snp", "water_spatial", "hmmer", "plsa")
 LOADS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
 
-def _run(service, app, load, policy):
-    return ENGINE.run_one(
-        scenario(service, (app,), policy, load_fraction=float(load))
-    )
-
-
 def _precise_max_load(service, app="canneal"):
     """Highest load fraction (2% steps) where precise colocation meets QoS."""
     best = 0.0
     for load in np.arange(0.30, 1.01, 0.02):
-        result = _run(service, app, float(load), "precise")
+        result = run_point(
+            service=service, apps=(app,), policy="precise",
+            load_fraction=float(load),
+        )
         if result.qos_met:
             best = float(load)
         else:
@@ -44,38 +46,33 @@ def _precise_max_load(service, app="canneal"):
 
 
 def test_fig8_load_sweep(benchmark, capsys):
-    grid = SweepGrid(
-        services=SERVICES,
-        app_mixes=tuple((app,) for app in SWEEP_APPS),
-        policies=("pliant",),
-        load_fractions=LOADS,
-        base=scenario(SERVICES[0], (SWEEP_APPS[0],)),
-        seeds=(SEED,),
+    spec = bench_spec(
+        "fig8-load-sweep",
+        axes={
+            "service": SERVICES,
+            "apps": SWEEP_APPS,
+            "load_fraction": LOADS,
+        },
     )
 
-    def sweep():
-        outcomes = ENGINE.run(grid)
-        return {
-            (o.scenario.service, o.scenario.apps[0], o.scenario.load_fraction): o
-            for o in outcomes
-        }
-
     start = time.perf_counter()
-    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: run_spec(spec), rounds=1, iterations=1
+    )
     elapsed = time.perf_counter() - start
-    table = {key: o.result for key, o in outcomes.items()}
-    cache_hits = sum(1 for o in outcomes.values() if o.from_cache)
     record_bench(
         "fig8_load_sweep",
         {
-            "grid_size": len(grid),
+            "grid_size": len(spec),
             "wall_clock_s": round(elapsed, 3),
-            "cache_hits": cache_hits,
-            "scenario_compute_s": round(
-                sum(o.duration for o in outcomes.values()), 3
-            ),
+            "cache_hits": results.cache_hits,
+            "scenario_compute_s": round(results.compute_seconds, 3),
         },
     )
+    table = {
+        (o.scenario.service, o.scenario.apps[0], o.scenario.load_fraction): o.result
+        for o in results
+    }
 
     with capsys.disabled():
         print()

@@ -5,11 +5,9 @@ decision interval from 0.2s to 8s.  The paper's finding: intervals of 1s or
 less always satisfy QoS; coarser intervals leave prolonged violations.
 """
 
-from repro.cluster import build_engine
-from repro.core import PliantPolicy
 from repro.viz import format_table
 
-from benchmarks._common import config
+from benchmarks._common import bench_spec, run_spec
 
 import pytest
 
@@ -26,22 +24,18 @@ FIG9_APPS = (
 INTERVALS = (0.2, 1.0, 2.0, 4.0, 6.0, 8.0)
 
 
-def _run(app, interval):
-    engine = build_engine(
-        "memcached",
-        [app],
-        PliantPolicy(seed=2),
-        config=config(decision_interval=interval),
-    )
-    return engine.run()
-
-
 def test_fig9_decision_interval(benchmark, capsys):
+    spec = bench_spec(
+        "fig9-decision-interval",
+        base={"service": "memcached"},
+        axes={"apps": FIG9_APPS, "decision_interval": INTERVALS},
+    )
+
     def sweep():
+        results = run_spec(spec)
         return {
-            (app, interval): _run(app, interval)
-            for app in FIG9_APPS
-            for interval in INTERVALS
+            (o.scenario.apps[0], o.scenario.decision_interval): o.result
+            for o in results
         }
 
     table = benchmark.pedantic(sweep, rounds=1, iterations=1)

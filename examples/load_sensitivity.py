@@ -16,8 +16,9 @@ import sys
 
 import numpy as np
 
+from repro.experiment import ExperimentSpec, run_experiment
 from repro.services import make_service
-from repro.sweep import Scenario, SweepCache, SweepEngine, SweepGrid
+from repro.sweep import SweepCache, SweepEngine
 from repro.viz import format_table
 
 
@@ -27,18 +28,15 @@ def main() -> None:
     saturation = make_service(service).saturation_qps(8)
 
     engine = SweepEngine(cache=SweepCache())
-    grid = SweepGrid(
-        services=(service,),
-        app_mixes=((app,),),
-        policies=("pliant",),
-        load_fractions=(0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
-        seeds=(5,),
-        base=Scenario(service=service, apps=(app,), seed=5),
+    spec = ExperimentSpec(
+        name=f"load-sensitivity/{service}/{app}",
+        base={"service": service, "apps": app, "seed": 5},
+        axes={"load_fraction": (0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)},
     )
-    outcomes = engine.run(grid)
+    results = run_experiment(spec, engine=engine)
 
     rows = []
-    for outcome in outcomes:
+    for outcome in results:
         result = outcome.result
         load = outcome.scenario.load_fraction
         app_outcome = result.app_outcome(app)

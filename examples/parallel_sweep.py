@@ -1,10 +1,12 @@
-"""Parallel sweep engine walkthrough.
+"""Declarative experiment walkthrough.
 
-Builds a multi-axis scenario grid (services x apps x loads x policies),
-fans it out across every core with the memoizing sweep engine, and prints
-the per-scenario QoS outcome plus cache/parallelism provenance.  Also
-shows the vectorized request-level load sweep: one batched
-Kiefer-Wolfowitz pass over a whole grid of arrival rates.
+Declares a multi-axis experiment as an :class:`ExperimentSpec` (services
+x apps x loads x policies), fans it out across every core through
+``run_experiment`` with the memoizing sweep engine, and queries the
+returned :class:`ResultSet` for the per-scenario QoS outcome plus
+cache/parallelism provenance.  Also shows the vectorized request-level
+load sweep: one batched Kiefer-Wolfowitz pass over a whole grid of
+arrival rates.
 
 Usage:  python examples/parallel_sweep.py [workers]
 """
@@ -13,27 +15,32 @@ import sys
 
 import numpy as np
 
+from repro.experiment import ExperimentSpec, run_experiment
 from repro.sim.analytic import mmc_tail_latency_batch
 from repro.sim.distributions import Exponential
 from repro.sim.queueing import batch_load_sweep
-from repro.sweep import Scenario, SweepCache, SweepEngine, SweepGrid
+from repro.sweep import SweepCache, SweepEngine
 from repro.viz import format_table
 
 
 def main() -> None:
     workers = int(sys.argv[1]) if len(sys.argv) > 1 else None
 
-    grid = SweepGrid(
-        services=("memcached", "mongodb"),
-        app_mixes=(("kmeans",), ("canneal",)),
-        policies=("pliant", "precise"),
-        load_fractions=(0.6, 0.9),
-        seeds=(7,),
-        base=Scenario(service="memcached", apps=("kmeans",), seed=7),
+    spec = ExperimentSpec(
+        name="parallel-sweep-demo",
+        base={"seed": 7},
+        axes={
+            "service": ("memcached", "mongodb"),
+            "apps": ("kmeans", "canneal"),
+            "policy": ("pliant", "precise"),
+            "load_fraction": (0.6, 0.9),
+        },
     )
     engine = SweepEngine(workers=workers, cache=SweepCache())
-    print(f"== sweeping {len(grid)} colocation scenarios ==")
-    outcomes = engine.run(grid)
+    print(f"== sweeping {len(spec)} colocation scenarios ==")
+    print(f"(the same spec file drives the CLI: spec.save('exp.json') then")
+    print(f" python -m repro.sweep submit --spec exp.json --spool ... --wait)")
+    results = run_experiment(spec, engine=engine)
 
     rows = [
         [
@@ -45,12 +52,17 @@ def main() -> None:
             "yes" if o.result.qos_met else "NO",
             "cache" if o.from_cache else f"{o.duration:.2f}s",
         ]
-        for o in outcomes
+        for o in results
     ]
     print(
         format_table(
             ["service", "apps", "policy", "load", "p99/QoS", "met", "run"], rows
         )
+    )
+    met = results.aggregate("qos_met", by="policy")
+    print(
+        f"QoS met (fraction of scenarios): "
+        + ", ".join(f"{k}={v:.2f}" for k, v in met.items())
     )
     print(f"(results cached under {engine.cache.root}; rerun to see hits)\n")
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_sweep.json trajectory file.
+
+The trajectory is append-only evidence of measured speedups across PRs;
+a malformed or rewound file means a benchmark run (or a merge) corrupted
+it.  Checks:
+
+* the file parses as JSON with the expected envelope,
+* every run entry has a label and an ISO-8601 UTC timestamp,
+* timestamps are monotone non-decreasing (append-only, never rewritten).
+
+Exit code 0 on success, 1 with a diagnostic otherwise.  An absent file
+is an error only with ``--require`` (fresh clones have no measurements
+yet).
+
+Usage: python scripts/bench_check.py [path] [--require]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def check(path: Path) -> list[str]:
+    """All problems found in one trajectory file (empty = healthy)."""
+    try:
+        doc = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"not valid JSON: {exc}"]
+
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"expected a JSON object at top level, got {type(doc).__name__}"]
+    if doc.get("benchmark") != "sweep-engine":
+        problems.append(
+            f"unexpected benchmark field {doc.get('benchmark')!r} "
+            "(expected 'sweep-engine')"
+        )
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        return problems + ["'runs' must be a list"]
+
+    previous = None
+    for index, run in enumerate(runs):
+        where = f"runs[{index}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not run.get("label"):
+            problems.append(f"{where}: missing label")
+        stamp = run.get("timestamp")
+        try:
+            parsed = time.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")
+        except (TypeError, ValueError):
+            problems.append(f"{where}: bad timestamp {stamp!r}")
+            continue
+        if previous is not None and parsed < previous:
+            problems.append(
+                f"{where}: timestamp {stamp} precedes its predecessor — "
+                "the trajectory must be monotone-appended, never rewritten"
+            )
+        previous = parsed
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default=DEFAULT_PATH, type=Path)
+    parser.add_argument(
+        "--require", action="store_true",
+        help="fail when the trajectory file does not exist",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.path.exists():
+        if args.require:
+            print(f"bench-check: {args.path} does not exist", file=sys.stderr)
+            return 1
+        print(f"bench-check: {args.path} absent (no measurements yet) — ok")
+        return 0
+
+    problems = check(args.path)
+    if problems:
+        for problem in problems:
+            print(f"bench-check: {problem}", file=sys.stderr)
+        return 1
+    runs = len(json.loads(args.path.read_text())["runs"])
+    print(f"bench-check: {args.path.name} ok ({runs} runs, monotone)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

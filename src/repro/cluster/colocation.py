@@ -14,8 +14,9 @@ from repro.core.policy import PliantPolicy, RuntimePolicy
 from repro.core.runtime import ColocationConfig, ColocationEngine, ColocationResult
 from repro.exploration import DesignSpaceExplorer
 from repro.exploration.pareto import ApproxLadder
+from repro.server.platform import Platform, default_platform, make_platform
 from repro.services import make_service
-from repro.services.loadgen import LoadGenerator
+from repro.services.loadgen import LoadGenerator, loadgen_from_spec
 
 
 @lru_cache(maxsize=64)
@@ -25,6 +26,14 @@ def ladder_for(app_name: str, seed: int = 0) -> ApproxLadder:
     return DesignSpaceExplorer(app, seed=seed).explore().ladder
 
 
+def _resolve_platform(platform: Platform | str | None) -> Platform:
+    if platform is None:
+        return default_platform()
+    if isinstance(platform, str):
+        return make_platform(platform)
+    return platform
+
+
 def build_engine(
     service_name: str,
     app_names: list[str] | tuple[str, ...],
@@ -32,18 +41,36 @@ def build_engine(
     config: ColocationConfig | None = None,
     loadgen: LoadGenerator | None = None,
     exploration_seed: int = 0,
+    platform: Platform | str | None = None,
+    loadgen_spec: tuple[str, tuple] | None = None,
 ) -> ColocationEngine:
-    """Assemble an engine for one colocation scenario."""
+    """Assemble an engine for one colocation scenario.
+
+    ``platform`` is a registered platform name or an instance (default:
+    the paper's Table 1 server).  ``loadgen_spec`` is a declarative
+    ``(shape, params)`` pair — see
+    :func:`repro.services.loadgen.loadgen_from_spec` — whose QPS-valued
+    parameters are fractions of the service's saturation at its nominal
+    fair-share core count; an explicit ``loadgen`` object wins over it.
+    """
     service = make_service(service_name)
+    resolved_platform = _resolve_platform(platform)
     apps = [
         (make_app(name), ladder_for(name, seed=exploration_seed))
         for name in app_names
     ]
+    if loadgen is None and loadgen_spec is not None:
+        shape, params = loadgen_spec
+        nominal_cores = resolved_platform.fair_share(1 + len(apps))[0]
+        loadgen = loadgen_from_spec(
+            shape, params, service.saturation_qps(nominal_cores)
+        )
     return ColocationEngine(
         service=service,
         apps=apps,
         policy=policy,
         config=config,
+        platform=resolved_platform,
         loadgen=loadgen,
     )
 

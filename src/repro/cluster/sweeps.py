@@ -1,26 +1,30 @@
 """Parameter sweeps and mix enumeration for the evaluation figures.
 
-The axis-shaped helpers (:func:`load_sweep`, :func:`interval_sweep`) are
-thin fronts over :class:`repro.sweep.SweepEngine`: they build a
-one-axis :class:`repro.sweep.SweepGrid` and hand it to an engine.  The
-default engine runs inline and uncached (the old contract of these
-helpers); pass ``engine=SweepEngine(cache=SweepCache())`` to fan out
-across cores and memoize results on disk, or ``backend=`` any
-:class:`repro.sweep.ExecutionBackend` (e.g. a
-:class:`~repro.sweep.DistributedBackend`) to run the same sweep on a
-worker fleet.
+.. deprecated::
+    The axis-shaped helpers (:func:`load_sweep`, :func:`interval_sweep`)
+    are thin compatibility fronts over the declarative experiment API:
+    each builds a one-axis :class:`repro.experiment.ExperimentSpec` and
+    hands it to :func:`repro.experiment.run_experiment`.  New code
+    should build specs directly — any scenario field is an axis there,
+    not just load and decision interval.  The default engine runs inline
+    and uncached (the old contract of these helpers); pass
+    ``engine=SweepEngine(cache=SweepCache())`` to fan out across cores
+    and memoize on disk, or ``backend=`` any
+    :class:`repro.sweep.ExecutionBackend`.
 """
 
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
 
 from repro.core.runtime import ColocationConfig, ColocationResult
+from repro.experiment import ExperimentSpec, run_experiment
 from repro.rng import child_generator
 from repro.sweep.backends import ExecutionBackend
-from repro.sweep.engine import SweepEngine
-from repro.sweep.grid import Scenario, SweepGrid
+from repro.sweep.engine import SweepEngine, register_policy
+from repro.sweep.grid import Scenario
 
 
 def _resolve_engine(
@@ -42,48 +46,60 @@ class SweepPoint:
     result: ColocationResult
 
 
-def _scenario_base(
-    service_name: str,
-    app_names: tuple[str, ...],
-    base: ColocationConfig,
-    policy: str,
-) -> Scenario:
-    return Scenario(
-        service=service_name,
-        apps=tuple(app_names),
-        policy=policy,
-        load_fraction=base.load_fraction,
-        decision_interval=base.decision_interval,
-        monitor_epoch=base.monitor_epoch,
-        slack_threshold=base.slack_threshold,
-        horizon=base.horizon,
-        seed=base.seed,
-        stop_when_apps_done=base.stop_when_apps_done,
-    )
+def _config_base(base: ColocationConfig) -> dict:
+    """Spec base fields carrying a legacy config's knobs."""
+    return {
+        "load_fraction": base.load_fraction,
+        "decision_interval": base.decision_interval,
+        "monitor_epoch": base.monitor_epoch,
+        "slack_threshold": base.slack_threshold,
+        "horizon": base.horizon,
+        "seed": base.seed,
+        "stop_when_apps_done": base.stop_when_apps_done,
+    }
 
 
-def _legacy_factory_sweep(
-    service_name: str,
-    app_names: tuple[str, ...],
-    scenarios: list[Scenario],
-    policy_factory,
-) -> list[ColocationResult]:
-    """Run scenarios with a caller-supplied policy factory, in process.
+def _factory_policy_name(policy_factory, engine: SweepEngine) -> str:
+    """Route a legacy ``policy_factory`` through the policy registry.
 
-    A factory can close over arbitrary constructor arguments that the
-    declarative :data:`POLICY_REGISTRY` path cannot reconstruct, so each
-    point gets a fresh ``policy_factory()`` instance and runs inline —
-    exact legacy semantics, at the cost of fan-out and caching (use
-    policy *names* on a grid to get those).
+    Registers ``policy_factory`` under a name derived from its qualified
+    name and returns that name, so factory-based sweeps run through the
+    engine and get fan-out, per-scenario seeding, and caching like every
+    other sweep.  Deprecated because the name is only as unique as the
+    factory's qualname: two different closures with the same qualname
+    (or one closing over changing state) would share cache entries —
+    register the policy explicitly with ``register_policy`` to control
+    identity, and to make it resolvable inside distributed workers
+    (``worker --import``).
     """
-    from repro.cluster.colocation import build_engine
+    from repro.sweep.backends import DistributedBackend
 
-    return [
-        build_engine(
-            service_name, app_names, policy_factory(), config=scenario.config()
-        ).run()
-        for scenario in scenarios
-    ]
+    if isinstance(engine.backend, DistributedBackend):
+        # The transient registration only exists in this process; remote
+        # workers would fail every job with "unknown policy".  Fail loudly
+        # here instead.
+        raise ValueError(
+            "policy_factory= cannot run on a distributed backend: the "
+            "factory is registered only in the submitting process.  "
+            "Register the policy in an importable module with "
+            "repro.sweep.register_policy(name, builder), pass "
+            "policy=name, and start workers with --import that.module"
+        )
+    name = (
+        f"factory:{getattr(policy_factory, '__module__', 'unknown')}."
+        f"{getattr(policy_factory, '__qualname__', repr(policy_factory))}"
+    )
+    warnings.warn(
+        "policy_factory= is deprecated: register the policy with "
+        f"repro.sweep.register_policy(...) and pass its name (sweeping "
+        f"through transient registration {name!r}; beware that cached "
+        "results are keyed by that name, not by what the factory closes "
+        "over)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    register_policy(name, lambda sc, kw: policy_factory(), overwrite=True)
+    return name
 
 
 def load_sweep(
@@ -97,28 +113,27 @@ def load_sweep(
 ) -> list[SweepPoint]:
     """Fig. 8: sweep offered load as a fraction of saturation."""
     base = base_config or ColocationConfig()
-    grid = SweepGrid(
-        services=(service_name,),
-        app_mixes=(tuple(app_names),),
-        policies=("pliant",),
-        load_fractions=tuple(float(v) for v in load_fractions),
-        decision_intervals=(base.decision_interval,),
-        seeds=(base.seed,),
-        base=_scenario_base(service_name, app_names, base, "pliant"),
+    resolved = _resolve_engine(engine, backend)
+    policy = (
+        "pliant" if policy_factory is None
+        else _factory_policy_name(policy_factory, resolved)
     )
-    scenarios = grid.scenarios()
-    if policy_factory is not None:
-        results = _legacy_factory_sweep(
-            service_name, app_names, scenarios, policy_factory
-        )
-        return [
-            SweepPoint(value=s.load_fraction, result=r)
-            for s, r in zip(scenarios, results)
-        ]
-    outcomes = _resolve_engine(engine, backend).run(grid)
+    shared = _config_base(base)
+    shared.pop("load_fraction")  # the axis owns it
+    spec = ExperimentSpec(
+        name=f"load-sweep/{service_name}",
+        base={
+            **shared,
+            "service": service_name,
+            "apps": tuple(app_names),
+            "policy": policy,
+        },
+        axes={"load_fraction": tuple(float(v) for v in load_fractions)},
+    )
+    results = run_experiment(spec, engine=resolved)
     return [
         SweepPoint(value=o.scenario.load_fraction, result=o.result)
-        for o in outcomes
+        for o in results
     ]
 
 
@@ -132,19 +147,22 @@ def interval_sweep(
 ) -> list[SweepPoint]:
     """Fig. 9: sweep Pliant's decision interval."""
     base = base_config or ColocationConfig()
-    grid = SweepGrid(
-        services=(service_name,),
-        app_mixes=(tuple(app_names),),
-        policies=("pliant",),
-        load_fractions=(base.load_fraction,),
-        decision_intervals=tuple(float(v) for v in intervals),
-        seeds=(base.seed,),
-        base=_scenario_base(service_name, app_names, base, "pliant"),
+    shared = _config_base(base)
+    shared.pop("decision_interval")  # the axis owns it
+    spec = ExperimentSpec(
+        name=f"interval-sweep/{service_name}",
+        base={
+            **shared,
+            "service": service_name,
+            "apps": tuple(app_names),
+            "policy": "pliant",
+        },
+        axes={"decision_interval": tuple(float(v) for v in intervals)},
     )
-    outcomes = _resolve_engine(engine, backend).run(grid)
+    results = run_experiment(spec, engine=_resolve_engine(engine, backend))
     return [
         SweepPoint(value=o.scenario.decision_interval, result=o.result)
-        for o in outcomes
+        for o in results
     ]
 
 

@@ -1,0 +1,278 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` describes a whole sweep as data: a ``base``
+of shared scenario fields plus named, open-ended ``axes`` — **any**
+:class:`~repro.sweep.grid.Scenario` field can be an axis, including the
+load-shape (``loadgen_shape``/``loadgen_params``), ``platform``,
+``slack_threshold`` and ``horizon`` axes, not just the handful the old
+:class:`~repro.sweep.grid.SweepGrid` hard-codes.  Specs round-trip
+through JSON, so the same experiment definition drives an in-process
+sweep, the distributed CLI (``python -m repro.sweep submit --spec``),
+and a saved artifact next to its results.
+
+Expansion order is deterministic: the cross product iterates axes in
+declaration order, first axis slowest — the same contract as
+``SweepGrid``, so related scenarios stay adjacent for cache locality.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sweep.grid import (
+    Scenario,
+    SweepGrid,
+    _freeze,
+    _jsonify,
+    _normalize_mix,
+    scenario_field_names,
+)
+
+#: Bump when the spec JSON layout changes; old files fail loudly.
+SPEC_FORMAT = 1
+
+_PAIR_FIELDS = ("policy_kwargs", "loadgen_params")
+
+
+def _normalize_value(field: str, value):
+    """Freeze one field value into its canonical hashable form."""
+    if field == "apps":
+        return _normalize_mix(value)
+    if field in _PAIR_FIELDS:
+        items = value.items() if isinstance(value, dict) else value
+        return tuple((str(k), _freeze(v)) for k, v in items)
+    return _freeze(value)
+
+
+def _as_pairs(mapping_or_pairs) -> list[tuple[str, object]]:
+    if mapping_or_pairs is None:
+        return []
+    if isinstance(mapping_or_pairs, dict):
+        return list(mapping_or_pairs.items())
+    return [(k, v) for k, v in mapping_or_pairs]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One sweep, declared as named open axes over scenario fields.
+
+    Parameters
+    ----------
+    axes:
+        Mapping (or pair sequence — order is preserved either way) from a
+        scenario field name to the values it sweeps over.  ``apps`` axis
+        values are app mixes: a bare string is a single-app mix, a list
+        is a multi-app mix.
+    base:
+        Scenario fields shared by every point.  ``service`` and ``apps``
+        must appear in ``base`` or ``axes``.
+    name / description:
+        Free-form labels carried through serialization.
+    """
+
+    axes: tuple[tuple[str, tuple], ...] = ()
+    base: tuple[tuple[str, object], ...] = ()
+    name: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        known = scenario_field_names()
+        base_pairs = _as_pairs(self.base)
+        axis_pairs = _as_pairs(self.axes)
+
+        unknown = [k for k, _ in base_pairs + axis_pairs if k not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s): {sorted(set(unknown))} "
+                f"(sweepable fields: {', '.join(sorted(known))})"
+            )
+        axis_names = [k for k, _ in axis_pairs]
+        if len(axis_names) != len(set(axis_names)):
+            raise ValueError(f"duplicate axis name in {axis_names}")
+        overlap = set(axis_names) & {k for k, _ in base_pairs}
+        if overlap:
+            raise ValueError(
+                f"field(s) {sorted(overlap)} appear in both base and axes; "
+                "pick one"
+            )
+        # Materialize axis values exactly once: a generator would be
+        # exhausted by the emptiness check and silently expand to zero
+        # scenarios.
+        materialized = []
+        for axis, values in axis_pairs:
+            if isinstance(values, str) or not hasattr(values, "__iter__"):
+                raise ValueError(
+                    f"axis {axis!r} needs an iterable of values, "
+                    f"got {values!r}"
+                )
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"axis {axis!r} has no values")
+            materialized.append((axis, values))
+        axis_pairs = materialized
+        declared = set(axis_names) | {k for k, _ in base_pairs}
+        missing = {"service", "apps"} - declared
+        if missing:
+            raise ValueError(
+                f"spec must declare {sorted(missing)} in base or axes"
+            )
+
+        object.__setattr__(
+            self,
+            "base",
+            tuple((k, _normalize_value(k, v)) for k, v in base_pairs),
+        )
+        object.__setattr__(
+            self,
+            "axes",
+            tuple(
+                (k, tuple(_normalize_value(k, v) for v in values))
+                for k, values in axis_pairs
+            ),
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(k for k, _ in self.axes)
+
+    def axis(self, name: str) -> tuple:
+        """The declared values of one axis."""
+        for axis, values in self.axes:
+            if axis == name:
+                return values
+        raise KeyError(f"no axis named {name!r} (axes: {self.axis_names})")
+
+    def __len__(self) -> int:
+        total = 1
+        for _, values in self.axes:
+            total *= len(values)
+        return total
+
+    # -- expansion -------------------------------------------------------
+
+    def scenarios(self) -> list[Scenario]:
+        """The cross product, first declared axis varying slowest."""
+        shared = dict(self.base)
+        names = [k for k, _ in self.axes]
+        out = []
+        for combo in itertools.product(*(v for _, v in self.axes)):
+            out.append(Scenario(**shared, **dict(zip(names, combo))))
+        return out
+
+    def __iter__(self):
+        return iter(self.scenarios())
+
+    # -- builders --------------------------------------------------------
+
+    def with_base(self, **fields) -> "ExperimentSpec":
+        """A copy with ``fields`` merged into (and overriding) the base."""
+        merged = dict(self.base)
+        merged.update(fields)
+        return ExperimentSpec(
+            axes=self.axes, base=merged, name=self.name,
+            description=self.description,
+        )
+
+    def with_axis(self, axis: str, values) -> "ExperimentSpec":
+        """A copy with one axis appended (or replaced, keeping its slot)."""
+        axes = list(self.axes)
+        for index, (existing, _) in enumerate(axes):
+            if existing == axis:
+                axes[index] = (axis, tuple(values))
+                break
+        else:
+            axes.append((axis, tuple(values)))
+        base = dict(self.base)
+        base.pop(axis, None)  # the axis now owns this field
+        return ExperimentSpec(
+            axes=axes, base=base, name=self.name, description=self.description
+        )
+
+    @classmethod
+    def from_grid(cls, grid: SweepGrid, name: str = "") -> "ExperimentSpec":
+        """Lift a legacy :class:`SweepGrid` into an equivalent spec.
+
+        Axis order mirrors the grid's documented expansion order, so
+        ``spec.scenarios() == grid.scenarios()``.
+        """
+        template = grid.base or Scenario(
+            service=grid.services[0], apps=grid.app_mixes[0]
+        )
+        base = {
+            field: getattr(template, field)
+            for field in scenario_field_names()
+            if field
+            not in (
+                "service", "apps", "policy", "load_fraction",
+                "decision_interval", "seed",
+            )
+        }
+        return cls(
+            axes=[
+                ("service", grid.services),
+                ("apps", grid.app_mixes),
+                ("policy", grid.policies),
+                ("load_fraction", grid.load_fractions),
+                ("decision_interval", grid.decision_intervals),
+                ("seed", grid.seeds),
+            ],
+            base=base,
+            name=name,
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": SPEC_FORMAT,
+            "name": self.name,
+            "description": self.description,
+            "base": {k: _jsonify(v) for k, v in self.base},
+            "axes": [[k, [_jsonify(v) for v in values]] for k, values in self.axes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        if not isinstance(payload, dict):
+            raise ValueError(f"spec payload must be an object, got {type(payload).__name__}")
+        allowed = {"format", "name", "description", "base", "axes"}
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown spec field(s): {sorted(unknown)} "
+                f"(known: {', '.join(sorted(allowed))})"
+            )
+        version = payload.get("format", SPEC_FORMAT)
+        if version != SPEC_FORMAT:
+            raise ValueError(
+                f"unsupported spec format {version!r} (this build reads "
+                f"format {SPEC_FORMAT})"
+            )
+        return cls(
+            axes=[(k, tuple(v)) for k, v in payload.get("axes", [])],
+            base=payload.get("base", {}),
+            name=payload.get("name", ""),
+            description=payload.get("description", ""),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "ExperimentSpec":
+        return cls.from_json(Path(path).read_text())

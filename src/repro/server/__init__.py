@@ -8,7 +8,13 @@ contention in the last-level cache and memory bandwidth
 
 from repro.server.interference import InterferenceModel, PressureBreakdown
 from repro.server.node import ServerNode
-from repro.server.platform import Platform
+from repro.server.platform import (
+    Platform,
+    default_platform,
+    make_platform,
+    register_platform,
+    registered_platforms,
+)
 from repro.server.resources import ResourceProfile
 from repro.server.tenant import Tenant, TenantKind
 
@@ -20,4 +26,8 @@ __all__ = [
     "ServerNode",
     "Tenant",
     "TenantKind",
+    "default_platform",
+    "make_platform",
+    "register_platform",
+    "registered_platforms",
 ]

@@ -8,7 +8,8 @@ on the same socket share the LLC, memory bandwidth, disk and NIC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.config import PlatformSpec
 
@@ -61,3 +62,72 @@ class Platform:
 def default_platform() -> Platform:
     """The paper's server (Table 1)."""
     return Platform(spec=PlatformSpec())
+
+
+def _half_llc_platform() -> Platform:
+    """Table 1 server with half the LLC — a cache-starved variant."""
+    spec = PlatformSpec()
+    return Platform(
+        spec=replace(spec, llc_bytes=spec.llc_bytes / 2, llc_ways=spec.llc_ways // 2)
+    )
+
+
+def _ddr4_3200_platform() -> Platform:
+    """Table 1 server with DDR4-3200: memory bandwidth scaled 3200/2400."""
+    spec = PlatformSpec()
+    return Platform(
+        spec=replace(
+            spec,
+            memory_speed_mhz=3200,
+            memory_bandwidth_bytes=spec.memory_bandwidth_bytes * 3200 / 2400,
+        )
+    )
+
+
+#: Named platform variants scenarios can sweep over.  Factories (not
+#: instances) so every engine gets a fresh Platform and registration
+#: stays cheap at import time.
+PLATFORM_REGISTRY: dict[str, Callable[[], Platform]] = {
+    "default": default_platform,
+    "half-llc": _half_llc_platform,
+    "ddr4-3200": _ddr4_3200_platform,
+}
+
+
+def register_platform(
+    name: str, factory: Callable[[], Platform], overwrite: bool = False
+) -> Callable[[], Platform]:
+    """Register a platform factory under ``name`` for scenarios to reference.
+
+    Like policy registration, scenarios carry only the *name* — remote
+    sweep workers re-resolve it, so the registering module must be
+    importable there too (``worker --import``).
+    """
+    if not callable(factory):
+        raise TypeError(f"platform factory for {name!r} must be callable")
+    if not overwrite and name in PLATFORM_REGISTRY:
+        raise ValueError(
+            f"platform {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    PLATFORM_REGISTRY[name] = factory
+    return factory
+
+
+def registered_platforms() -> tuple[str, ...]:
+    """Sorted names of every registered platform."""
+    return tuple(sorted(PLATFORM_REGISTRY))
+
+
+def make_platform(name: str) -> Platform:
+    """Instantiate the platform a scenario names."""
+    try:
+        factory = PLATFORM_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORM_REGISTRY))
+        raise ValueError(
+            f"unknown platform {name!r} (known: {known}); custom platforms "
+            "must be registered with "
+            "repro.server.platform.register_platform(name, factory)"
+        ) from None
+    return factory()

@@ -126,6 +126,94 @@ class DiurnalLoad(LoadGenerator):
         )
 
 
+#: Declarative load shapes a :class:`~repro.sweep.grid.Scenario` can name.
+#: QPS-valued parameters are *fractions of saturation* at the service's
+#: nominal core count, so shapes compose with ``load_fraction`` semantics
+#: and stay meaningful across services and platforms.
+LOADGEN_SHAPES = ("constant", "step", "diurnal", "bursty")
+
+
+def loadgen_from_spec(
+    shape: str,
+    params,
+    saturation_qps: float,
+) -> LoadGenerator | None:
+    """Build a generator from a declarative ``(shape, params)`` spec.
+
+    ``params`` is a mapping (or sequence of pairs) whose QPS-valued
+    entries are fractions of ``saturation_qps``.  Returns ``None`` for a
+    parameterless ``"constant"`` shape — the caller's default (offered
+    load from ``load_fraction``) already covers it, and omitting the
+    object keeps legacy cache keys intact.
+
+    Shapes::
+
+        constant  fraction                              (optional)
+        step      steps=[[t0, f0], [t1, f1], ...]       piecewise-constant
+        diurnal   low, high, period[, phase]            sinusoid
+        bursty    base, burst, period, duration         square bursts
+    """
+    params = dict(params or ())
+    if shape not in LOADGEN_SHAPES:
+        raise ValueError(
+            f"unknown loadgen shape {shape!r} "
+            f"(expected one of {', '.join(LOADGEN_SHAPES)})"
+        )
+
+    def need(name: str) -> float:
+        try:
+            return float(params.pop(name))
+        except KeyError:
+            raise ValueError(
+                f"loadgen shape {shape!r} needs a {name!r} parameter"
+            ) from None
+
+    def reject_leftovers() -> None:
+        if params:
+            raise ValueError(
+                f"unknown parameters for loadgen shape {shape!r}: "
+                f"{sorted(params)}"
+            )
+
+    if shape == "constant":
+        if not params:
+            return None
+        value = need("fraction")
+        reject_leftovers()
+        return ConstantLoad(qps=value * saturation_qps)
+    if shape == "step":
+        try:
+            steps = params.pop("steps")
+        except KeyError:
+            raise ValueError("loadgen shape 'step' needs a 'steps' parameter") from None
+        reject_leftovers()
+        return StepLoad(
+            steps=tuple(
+                (float(t), float(f) * saturation_qps) for t, f in steps
+            )
+        )
+    if shape == "diurnal":
+        low, high = need("low"), need("high")
+        period = need("period")
+        phase = float(params.pop("phase", 0.0))
+        reject_leftovers()
+        return DiurnalLoad(
+            low_qps=low * saturation_qps,
+            high_qps=high * saturation_qps,
+            period=period,
+            phase=phase,
+        )
+    base, burst = need("base"), need("burst")
+    period, duration = need("period"), need("duration")
+    reject_leftovers()
+    return BurstyLoad(
+        base_qps=base * saturation_qps,
+        burst_qps=burst * saturation_qps,
+        burst_period=period,
+        burst_duration=duration,
+    )
+
+
 @dataclass(frozen=True)
 class BurstyLoad(LoadGenerator):
     """Base load with periodic square bursts (models flash crowds)."""

@@ -2,7 +2,7 @@
 
 Subcommands::
 
-    submit   expand a grid into spool jobs (optionally wait for results)
+    submit   expand a grid or spec file into spool jobs (opt. wait)
     worker   serve a spool: claim, execute, publish to the shared cache
     status   census of a spool (pending / running / expired / done)
     cache    stats | prune — inspect and bound the result cache
@@ -14,6 +14,11 @@ A two-host sweep is two shell lines (shared storage for spool + cache)::
                 --loads 0.5,0.7,0.9 --seeds 0,1 --wait --workers 2
     host-b$ python -m repro.sweep worker --spool /share/spool \\
                 --cache /share/cache --exit-when-idle
+
+Grid flags only reach the six axes ``SweepGrid`` hard-codes; ``--spec
+exp.json`` submits a full :class:`~repro.experiment.ExperimentSpec` —
+any scenario field as an axis (load shape, platform, slack threshold,
+...), written once and shared between hosts, figures, and scripts.
 """
 
 from __future__ import annotations
@@ -24,10 +29,12 @@ import json
 import sys
 from pathlib import Path
 
+from repro.experiment import ExperimentSpec, run_experiment
 from repro.sweep.backends import DistributedBackend, JobSpool, run_worker
 from repro.sweep.cache import SweepCache
-from repro.sweep.engine import SweepEngine
 from repro.sweep.grid import Scenario, SweepGrid
+
+__all__ = ["build_parser", "build_spec", "main"]
 
 
 def _floats(text: str) -> tuple[float, ...]:
@@ -52,7 +59,39 @@ def _cache_from(args) -> SweepCache:
     return SweepCache(args.cache) if args.cache else SweepCache()
 
 
-def build_grid(args) -> SweepGrid:
+#: Grid flags and their parser defaults — --spec is exclusive with *any*
+#: of them being set (a silently ignored flag runs the wrong experiment).
+_GRID_FLAG_DEFAULTS = {
+    "apps": None,
+    "services": ("memcached",),
+    "policies": ("pliant",),
+    "loads": (0.775,),
+    "intervals": (1.0,),
+    "seeds": (0,),
+    "horizon": 400.0,
+    "monitor_epoch": 0.1,
+    "slack_threshold": 0.10,
+}
+
+
+def build_spec(args) -> ExperimentSpec:
+    """The experiment to submit: ``--spec`` file, or grid flags lifted."""
+    if args.spec:
+        overridden = [
+            f"--{flag.replace('_', '-')}"
+            for flag, default in _GRID_FLAG_DEFAULTS.items()
+            if getattr(args, flag) != default
+        ]
+        if overridden:
+            raise SystemExit(
+                f"--spec is exclusive with grid flags; drop "
+                f"{', '.join(overridden)} or fold them into the spec file"
+            )
+        return ExperimentSpec.load(args.spec)
+    if not args.apps:
+        raise SystemExit(
+            "submit needs --apps (grid flags) or --spec exp.json"
+        )
     base = Scenario(
         service=args.services[0],
         apps=args.apps[0],
@@ -60,7 +99,7 @@ def build_grid(args) -> SweepGrid:
         monitor_epoch=args.monitor_epoch,
         slack_threshold=args.slack_threshold,
     )
-    return SweepGrid(
+    grid = SweepGrid(
         services=args.services,
         app_mixes=tuple(args.apps),
         policies=args.policies,
@@ -69,12 +108,18 @@ def build_grid(args) -> SweepGrid:
         seeds=args.seeds,
         base=base,
     )
+    return ExperimentSpec.from_grid(grid)
 
 
 def cmd_submit(args) -> int:
+    if args.out and not args.wait:
+        raise SystemExit(
+            "--out needs --wait: results only exist locally once the "
+            "sweep has been collected"
+        )
     _import_modules(args.import_modules)
-    grid = build_grid(args)
-    scenarios = grid.scenarios()
+    spec = build_spec(args)
+    scenarios = spec.scenarios()
     if not args.wait:
         spool = JobSpool(args.spool, lease_ttl=args.lease_ttl)
         for scenario in scenarios:
@@ -98,17 +143,20 @@ def cmd_submit(args) -> int:
         local_workers=args.workers,
         import_modules=tuple(args.import_modules or ()),
     )
-    engine = SweepEngine(cache=cache, backend=backend)
     try:
-        outcomes = engine.run(grid)
+        results = run_experiment(spec, backend=backend, cache=cache)
     except (RuntimeError, TimeoutError) as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
-    hits = sum(1 for outcome in outcomes if outcome.from_cache)
-    print(f"{len(outcomes)} scenarios complete ({hits} from cache)")
-    for outcome in outcomes:
+    print(
+        f"{len(results)} scenarios complete ({results.cache_hits} from cache)"
+    )
+    for outcome in results:
         source = "cache" if outcome.from_cache else f"{outcome.duration:.2f}s"
         print(f"  {outcome.scenario.label():<60} {source}")
+    if args.out:
+        results.save(args.out)
+        print(f"result set saved to {args.out}")
     return 0
 
 
@@ -197,13 +245,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    submit = sub.add_parser("submit", help="expand a grid into spool jobs")
+    submit = sub.add_parser(
+        "submit", help="expand a grid or spec file into spool jobs"
+    )
     _add_spool_args(submit)
     _add_cache_arg(submit)
+    submit.add_argument("--spec", default=None, metavar="FILE",
+                        help="ExperimentSpec JSON file; any scenario field "
+                        "as an axis (exclusive with grid flags)")
+    submit.add_argument("--out", default=None, metavar="FILE",
+                        help="with --wait: save the full ResultSet "
+                        "(pickle) here for later querying")
     submit.add_argument("--services", type=_names, default=("memcached",),
                         metavar="A,B", help="comma-separated service names")
     submit.add_argument("--apps", action="append", type=lambda s: tuple(s.split("+")),
-                        metavar="APP[+APP...]", required=True,
+                        metavar="APP[+APP...]",
                         help="one app mix per flag; '+' joins apps in a mix")
     submit.add_argument("--policies", type=_names, default=("pliant",),
                         metavar="P,Q")

@@ -16,6 +16,7 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.core.arbiter import ImpactAwareArbiter
 from repro.core.baselines import (
     CoreReclaimOnlyPolicy,
     PrecisePolicy,
@@ -34,6 +35,9 @@ from repro.sweep.grid import Scenario, SweepGrid
 #: prefer the function over mutating this dict directly.
 POLICY_REGISTRY: dict[str, Callable[[Scenario, dict], RuntimePolicy]] = {
     "pliant": lambda sc, kw: PliantPolicy(seed=sc.seed, **kw),
+    "pliant-impact": lambda sc, kw: PliantPolicy(
+        seed=sc.seed, arbiter=ImpactAwareArbiter(), **kw
+    ),
     "precise": lambda sc, kw: PrecisePolicy(),
     "static-most-approx": lambda sc, kw: StaticMostApproxPolicy(),
     "static-level": lambda sc, kw: StaticLevelPolicy(dict(kw["levels"])),
@@ -100,6 +104,12 @@ def run_scenario(scenario: Scenario) -> ColocationResult:
         make_policy(scenario),
         config=scenario.config(),
         exploration_seed=scenario.exploration_seed,
+        platform=scenario.platform,
+        loadgen_spec=(
+            None
+            if scenario.has_default_loadgen()
+            else (scenario.loadgen_shape, scenario.loadgen_params)
+        ),
     )
     return engine.run()
 

@@ -11,15 +11,47 @@ expanded in a deterministic order.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.core.runtime import ColocationConfig
+from repro.services.loadgen import LOADGEN_SHAPES
 
 
 def _normalize_mix(mix: str | tuple[str, ...] | list[str]) -> tuple[str, ...]:
     if isinstance(mix, str):
         return (mix,)
     return tuple(mix)
+
+
+def _freeze(value):
+    """Recursively turn lists into tuples so field values stay hashable."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _freeze_pairs(pairs) -> tuple[tuple[str, object], ...]:
+    """Normalize a mapping / pair sequence into frozen ``(name, value)`` pairs."""
+    items = pairs.items() if isinstance(pairs, dict) else pairs
+    return tuple((str(key), _freeze(value)) for key, value in items)
+
+
+def _canon(value):
+    """Canonical JSON form for content addressing: floats via ``repr``."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return repr(float(value))
+    if isinstance(value, (list, tuple)):
+        return [_canon(item) for item in value]
+    return value
+
+
+def _jsonify(value):
+    """JSON-ready form of a frozen field value: tuples become lists."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -44,11 +76,29 @@ class Scenario:
     seed: int = 0
     stop_when_apps_done: bool = True
     exploration_seed: int = 0
+    loadgen_shape: str = "constant"
+    loadgen_params: tuple[tuple[str, object], ...] = ()
+    platform: str = "default"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "apps", _normalize_mix(self.apps))
         if not self.apps:
             raise ValueError("a scenario needs at least one approximate app")
+        object.__setattr__(
+            self, "policy_kwargs", _freeze_pairs(self.policy_kwargs)
+        )
+        object.__setattr__(
+            self, "loadgen_params", _freeze_pairs(self.loadgen_params)
+        )
+        if self.loadgen_shape not in LOADGEN_SHAPES:
+            raise ValueError(
+                f"unknown loadgen shape {self.loadgen_shape!r} "
+                f"(expected one of {', '.join(LOADGEN_SHAPES)})"
+            )
+
+    def has_default_loadgen(self) -> bool:
+        """True when the scenario uses the legacy constant-load default."""
+        return self.loadgen_shape == "constant" and not self.loadgen_params
 
     def config(self) -> ColocationConfig:
         """The engine config this scenario describes."""
@@ -63,8 +113,15 @@ class Scenario:
         )
 
     def key_payload(self) -> dict:
-        """Canonical JSON-ready payload used for content addressing."""
-        return {
+        """Canonical JSON-ready payload used for content addressing.
+
+        New axes (``loadgen_*``, ``platform``) appear **only when they
+        differ from their defaults**: a scenario that doesn't use them
+        hashes exactly as it did before the axes existed, so the
+        content-addressed cache stays hot across the API generalization.
+        Pinned by the golden-payload test in ``tests/experiment``.
+        """
+        payload = {
             "service": self.service,
             "apps": list(self.apps),
             "policy": self.policy,
@@ -78,6 +135,14 @@ class Scenario:
             "stop_when_apps_done": bool(self.stop_when_apps_done),
             "exploration_seed": int(self.exploration_seed),
         }
+        if not self.has_default_loadgen():
+            payload["loadgen"] = [
+                self.loadgen_shape,
+                [[k, _canon(v)] for k, v in self.loadgen_params],
+            ]
+        if self.platform != "default":
+            payload["platform"] = self.platform
+        return payload
 
     def to_payload(self) -> dict:
         """JSON-serializable form that :meth:`from_payload` inverts.
@@ -100,33 +165,70 @@ class Scenario:
             "seed": int(self.seed),
             "stop_when_apps_done": bool(self.stop_when_apps_done),
             "exploration_seed": int(self.exploration_seed),
+            "loadgen_shape": self.loadgen_shape,
+            "loadgen_params": [[k, _jsonify(v)] for k, v in self.loadgen_params],
+            "platform": self.platform,
         }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "Scenario":
-        """Rebuild a scenario from :meth:`to_payload` output."""
+        """Rebuild a scenario from :meth:`to_payload` output.
+
+        Strict about keys: anything this version doesn't know is an
+        error, not a silent drop — a spec naming an axis we can't honor
+        must fail loudly, never run the wrong experiment.  Keys the
+        payload *omits* keep their defaults, so pre-axis payloads load.
+        """
+        unknown = set(payload) - _SCENARIO_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s): {sorted(unknown)} "
+                f"(known: {', '.join(sorted(_SCENARIO_FIELDS))})"
+            )
         return cls(
             service=payload["service"],
             apps=tuple(payload["apps"]),
-            policy=payload["policy"],
-            policy_kwargs=tuple((k, v) for k, v in payload["policy_kwargs"]),
-            load_fraction=float(payload["load_fraction"]),
-            decision_interval=float(payload["decision_interval"]),
-            monitor_epoch=float(payload["monitor_epoch"]),
-            slack_threshold=float(payload["slack_threshold"]),
-            horizon=float(payload["horizon"]),
-            seed=int(payload["seed"]),
-            stop_when_apps_done=bool(payload["stop_when_apps_done"]),
-            exploration_seed=int(payload["exploration_seed"]),
+            policy=payload.get("policy", "pliant"),
+            policy_kwargs=tuple(
+                (k, v) for k, v in payload.get("policy_kwargs", ())
+            ),
+            load_fraction=float(payload.get("load_fraction", 0.775)),
+            decision_interval=float(payload.get("decision_interval", 1.0)),
+            monitor_epoch=float(payload.get("monitor_epoch", 0.1)),
+            slack_threshold=float(payload.get("slack_threshold", 0.10)),
+            horizon=float(payload.get("horizon", 400.0)),
+            seed=int(payload.get("seed", 0)),
+            stop_when_apps_done=bool(payload.get("stop_when_apps_done", True)),
+            exploration_seed=int(payload.get("exploration_seed", 0)),
+            loadgen_shape=payload.get("loadgen_shape", "constant"),
+            loadgen_params=tuple(
+                (k, v) for k, v in payload.get("loadgen_params", ())
+            ),
+            platform=payload.get("platform", "default"),
         )
 
     def label(self) -> str:
         """Short human-readable identifier for logs and tables."""
         apps = "+".join(self.apps)
-        return (
+        label = (
             f"{self.service}/{apps}/{self.policy}"
             f"@{self.load_fraction:g}/dt{self.decision_interval:g}/s{self.seed}"
         )
+        if not self.has_default_loadgen():
+            label += f"/{self.loadgen_shape}"
+        if self.platform != "default":
+            label += f"/{self.platform}"
+        return label
+
+
+#: Every sweepable axis name — any :class:`Scenario` field can be an
+#: :class:`~repro.experiment.ExperimentSpec` axis or payload key.
+_SCENARIO_FIELDS = frozenset(f.name for f in fields(Scenario))
+
+
+def scenario_field_names() -> frozenset[str]:
+    """Names of every Scenario field (the open axis vocabulary)."""
+    return _SCENARIO_FIELDS
 
 
 @dataclass(frozen=True)

@@ -26,15 +26,18 @@ class TestLoadSweep:
         assert points[0].result.qos_ratio < points[1].result.qos_ratio
 
     def test_custom_policy_factory(self):
+        # Deprecated path: the factory is routed through register_policy
+        # so it still runs through the engine (fan-out, seeding, caching).
         from repro.core import PrecisePolicy
 
-        points = load_sweep(
-            "mongodb",
-            ("kmeans",),
-            load_fractions=(0.5,),
-            policy_factory=PrecisePolicy,
-            base_config=ColocationConfig(seed=4),
-        )
+        with pytest.warns(DeprecationWarning, match="register_policy"):
+            points = load_sweep(
+                "mongodb",
+                ("kmeans",),
+                load_fractions=(0.5,),
+                policy_factory=PrecisePolicy,
+                base_config=ColocationConfig(seed=4),
+            )
         assert points[0].result.policy_name == "precise"
 
     def test_configured_policy_factory_arguments_respected(self):
@@ -42,14 +45,59 @@ class TestLoadSweep:
         # registry path cannot reconstruct; they must take effect.
         from repro.core import StaticLevelPolicy
 
-        points = load_sweep(
-            "mongodb",
-            ("kmeans",),
-            load_fractions=(0.5,),
-            policy_factory=lambda: StaticLevelPolicy({"kmeans": 0}),
-            base_config=ColocationConfig(seed=4, horizon=30.0),
-        )
+        with pytest.warns(DeprecationWarning):
+            points = load_sweep(
+                "mongodb",
+                ("kmeans",),
+                load_fractions=(0.5,),
+                policy_factory=lambda: StaticLevelPolicy({"kmeans": 0}),
+                base_config=ColocationConfig(seed=4, horizon=30.0),
+            )
         assert points[0].result.policy_name == "static-level"
+
+    def test_factory_rejected_on_distributed_backend(self, tmp_path):
+        # The transient registration can't reach remote workers; failing
+        # at submit time beats a fleet of "unknown policy" job failures.
+        from repro.core import PrecisePolicy
+        from repro.sweep import DistributedBackend
+
+        with pytest.raises(ValueError, match="distributed"):
+            load_sweep(
+                "mongodb",
+                ("kmeans",),
+                load_fractions=(0.5,),
+                policy_factory=PrecisePolicy,
+                backend=DistributedBackend(tmp_path / "spool"),
+            )
+
+    def test_factory_sweep_runs_through_the_engine(self, tmp_path):
+        # The deprecated factory path must no longer bypass the engine:
+        # results land in the cache like any other sweep.
+        from repro.core import PrecisePolicy
+        from repro.sweep import SweepCache, SweepEngine
+
+        engine = SweepEngine(workers=1, cache=SweepCache(tmp_path))
+        with pytest.warns(DeprecationWarning):
+            points = load_sweep(
+                "mongodb",
+                ("kmeans",),
+                load_fractions=(0.5, 0.7),
+                policy_factory=PrecisePolicy,
+                base_config=ColocationConfig(seed=4, horizon=30.0),
+                engine=engine,
+            )
+        assert len(points) == 2
+        assert engine.cache.misses == 2
+        with pytest.warns(DeprecationWarning):
+            load_sweep(
+                "mongodb",
+                ("kmeans",),
+                load_fractions=(0.5, 0.7),
+                policy_factory=PrecisePolicy,
+                base_config=ColocationConfig(seed=4, horizon=30.0),
+                engine=engine,
+            )
+        assert engine.cache.hits == 2
 
     def test_engine_with_cache_memoizes_points(self, tmp_path):
         from repro.sweep import SweepCache, SweepEngine

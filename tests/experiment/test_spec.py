@@ -1,0 +1,187 @@
+"""ExperimentSpec: validation, expansion order, JSON round trip."""
+
+import json
+
+import pytest
+
+from repro.experiment import ExperimentSpec
+from repro.sweep import Scenario, SweepGrid
+
+BASE = {"service": "mongodb", "apps": "kmeans", "seed": 4, "horizon": 30.0}
+
+
+def demo_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="demo",
+        description="two open axes",
+        base=BASE,
+        axes={
+            "load_fraction": (0.5, 0.8),
+            "slack_threshold": (0.05, 0.10),
+        },
+    )
+
+
+class TestValidation:
+    def test_unknown_base_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            ExperimentSpec(base={**BASE, "bogus": 1})
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            ExperimentSpec(base=BASE, axes={"not_an_axis": (1, 2)})
+
+    def test_axis_and_base_conflict_rejected(self):
+        with pytest.raises(ValueError, match="both base and axes"):
+            ExperimentSpec(base=BASE, axes={"seed": (0, 1)})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            ExperimentSpec(base=BASE, axes={"load_fraction": ()})
+
+    def test_scalar_axis_rejected(self):
+        with pytest.raises(ValueError, match="iterable of values"):
+            ExperimentSpec(base=BASE, axes={"load_fraction": 0.5})
+
+    def test_generator_axis_not_exhausted(self):
+        # A generator must expand like a list, not silently drain to an
+        # empty axis during validation.
+        spec = ExperimentSpec(
+            base=BASE, axes={"load_fraction": (v / 10 for v in (4, 6, 8))}
+        )
+        assert len(spec) == 3
+        assert spec.axis("load_fraction") == (0.4, 0.6, 0.8)
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="duplicate axis"):
+            ExperimentSpec(
+                base=BASE,
+                axes=[("load_fraction", (0.5,)), ("load_fraction", (0.8,))],
+            )
+
+    def test_service_and_apps_required_somewhere(self):
+        with pytest.raises(ValueError, match="service"):
+            ExperimentSpec(base={"apps": "kmeans"})
+        # ...but an axis declaring them is enough.
+        spec = ExperimentSpec(
+            base={"apps": "kmeans"}, axes={"service": ("mongodb", "nginx")}
+        )
+        assert len(spec) == 2
+
+
+class TestExpansion:
+    def test_len_is_axis_product(self):
+        assert len(demo_spec()) == 4
+
+    def test_no_axes_is_a_single_point(self):
+        spec = ExperimentSpec(base=BASE)
+        assert len(spec) == 1
+        [scenario] = spec.scenarios()
+        assert scenario == Scenario(**{**BASE, "apps": ("kmeans",)})
+
+    def test_first_axis_varies_slowest(self):
+        scenarios = demo_spec().scenarios()
+        assert [s.load_fraction for s in scenarios] == [0.5, 0.5, 0.8, 0.8]
+        assert [s.slack_threshold for s in scenarios] == [0.05, 0.10] * 2
+
+    def test_any_scenario_field_is_sweepable(self):
+        spec = ExperimentSpec(
+            base={"service": "mongodb", "apps": "kmeans"},
+            axes={
+                "loadgen_shape": ("constant", "diurnal"),
+                "platform": ("default", "half-llc"),
+                "horizon": (30.0, 60.0),
+            },
+        )
+        assert len(spec) == 8
+        shapes = {s.loadgen_shape for s in spec.scenarios()}
+        assert shapes == {"constant", "diurnal"}
+
+    def test_apps_axis_mixes(self):
+        spec = ExperimentSpec(
+            base={"service": "mongodb"},
+            axes={"apps": ("kmeans", ("kmeans", "canneal"))},
+        )
+        assert [s.apps for s in spec.scenarios()] == [
+            ("kmeans",),
+            ("kmeans", "canneal"),
+        ]
+
+    def test_matches_equivalent_grid_expansion(self):
+        grid = SweepGrid(
+            services=("mongodb", "nginx"),
+            app_mixes=(("kmeans",), ("kmeans", "canneal")),
+            policies=("pliant", "precise"),
+            load_fractions=(0.5, 0.8),
+            decision_intervals=(1.0, 2.0),
+            seeds=(0, 1),
+            base=Scenario(service="mongodb", apps=("kmeans",), horizon=30.0),
+        )
+        spec = ExperimentSpec.from_grid(grid)
+        assert spec.scenarios() == grid.scenarios()
+        assert len(spec) == len(grid)
+
+
+class TestBuilders:
+    def test_with_axis_appends_and_replaces(self):
+        spec = demo_spec().with_axis("seed", (0, 1))
+        assert len(spec) == 8
+        replaced = spec.with_axis("seed", (7,))
+        assert replaced.axis("seed") == (7,)
+        assert replaced.axis_names == spec.axis_names
+
+    def test_with_axis_takes_field_from_base(self):
+        spec = demo_spec().with_axis("seed", (0, 1))
+        assert all("seed" != k for k, _ in spec.base)
+
+    def test_with_base_overrides(self):
+        spec = demo_spec().with_base(seed=9)
+        assert all(s.seed == 9 for s in spec.scenarios())
+
+
+class TestSerialization:
+    def test_json_round_trip_identity(self):
+        spec = demo_spec()
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.scenarios() == spec.scenarios()
+
+    def test_round_trip_with_rich_axes(self):
+        spec = ExperimentSpec(
+            base={
+                "service": "memcached",
+                "apps": ("canneal", "bayesian"),
+                "loadgen_shape": "step",
+                "loadgen_params": (("steps", ((0.0, 0.5), (60.0, 0.9))),),
+                "policy_kwargs": {"slack_margin": 0.5},
+            },
+            axes={"platform": ("default", "half-llc")},
+        )
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.scenarios() == spec.scenarios()
+
+    def test_unknown_spec_key_rejected(self):
+        payload = demo_spec().to_dict()
+        payload["extra"] = True
+        with pytest.raises(ValueError, match="unknown spec field"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_unknown_format_rejected(self):
+        payload = demo_spec().to_dict()
+        payload["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_unknown_scenario_field_in_file_rejected(self):
+        payload = demo_spec().to_dict()
+        payload["base"]["bogus_axis"] = 3
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_save_load_file(self, tmp_path):
+        spec = demo_spec()
+        path = spec.save(tmp_path / "exp.json")
+        assert ExperimentSpec.load(path) == spec
+        # The file is plain JSON, inspectable by anything.
+        assert json.loads(path.read_text())["name"] == "demo"
