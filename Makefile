@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-figs sweep-smoke lint
+.PHONY: test bench bench-check bench-figs sweep-smoke sweep-smoke-tcp lint
 
 ## Tier-1: fast unit/integration suite (the gate for every PR).
 test:
@@ -18,9 +18,13 @@ bench:
 
 ## Distributed-backend smoke: >= 32-scenario grid through a two-worker local
 ## fleet with a mid-sweep worker kill; asserts bit-identity with the serial
-## pass and a >= 95% warm cache rerun.
+## pass and a >= 95% warm cache rerun.  Filesystem spool transport.
 sweep-smoke:
-	$(PY) -m pytest benchmarks/test_distributed_sweep.py -m benchmark -q
+	$(PY) -m pytest benchmarks/test_distributed_sweep.py -m benchmark -q -k filesystem
+
+## Same smoke over the asyncio TCP broker (REPRO_SWEEP_SPOOL=tcp://host:port).
+sweep-smoke-tcp:
+	$(PY) -m pytest benchmarks/test_distributed_sweep.py -m benchmark -q -k tcp
 
 ## Full figure-reproduction drivers (Figs. 1-10, ~minutes).
 bench-figs:

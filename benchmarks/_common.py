@@ -36,11 +36,30 @@ SERVICE_UNITS = {
 #: Trajectory file the sweep benchmarks append their measurements to.
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
-#: Process-wide engine: memoized on disk; parallel across cores by
-#: default, or any substrate named by REPRO_SWEEP_BACKEND — e.g.
-#: ``REPRO_SWEEP_BACKEND=distributed REPRO_SWEEP_SPOOL=/share/spool``
-#: re-points every figure driver at a worker fleet with no code changes.
-ENGINE = SweepEngine(cache=SweepCache(), backend=backend_from_env())
+def resolve_workers(environ=None) -> int:
+    """Worker count for the bench engine: REPRO_SWEEP_WORKERS, else cores.
+
+    The engine's own ``workers=None`` default already falls back to
+    ``os.cpu_count()``, but resolving here makes ``REPRO_SWEEP_WORKERS``
+    steer *every* bench substrate (it used to only set the distributed
+    backend's local fleet) and pins the count the moment the module
+    loads, so every figure driver in a session measures the same width.
+    """
+    env = os.environ if environ is None else environ
+    raw = (env.get("REPRO_SWEEP_WORKERS") or "").strip()
+    if raw:
+        return max(1, int(raw))
+    return os.cpu_count() or 1
+
+
+#: Process-wide engine: memoized on disk; parallel across
+#: :func:`resolve_workers` cores by default, or any substrate named by
+#: REPRO_SWEEP_BACKEND — e.g. ``REPRO_SWEEP_BACKEND=distributed
+#: REPRO_SWEEP_SPOOL=/share/spool`` (or ``tcp://host:port``) re-points
+#: every figure driver at a worker fleet with no code changes.
+ENGINE = SweepEngine(
+    workers=resolve_workers(), cache=SweepCache(), backend=backend_from_env()
+)
 
 
 def config(**kwargs) -> ColocationConfig:
@@ -147,6 +166,7 @@ __all__ = [
     "config",
     "ladder",
     "record_bench",
+    "resolve_workers",
     "run_pair",
     "run_pliant_mix",
     "run_point",

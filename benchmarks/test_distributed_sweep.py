@@ -1,12 +1,13 @@
 """End-to-end distributed sweep smoke (the subsystem's acceptance bar).
 
-One test, the whole story: a >= 32-scenario grid runs serially for
-ground truth, then cold through the distributed backend with two local
-workers — one of which is SIGKILLed mid-sweep, so completion *requires*
-lease expiry and reassignment.  The surviving worker drains the spool,
-results must match the serial pass bit-for-bit, and a warm rerun must be
-served >= 95 % from the shared cache.  ``make sweep-smoke`` runs exactly
-this file.
+One test per transport, the whole story: a >= 32-scenario grid runs
+serially for ground truth, then cold through the distributed backend
+with two local workers — one of which is SIGKILLed mid-sweep, so
+completion *requires* lease expiry and reassignment.  The surviving
+worker drains the queue, results must match the serial pass bit-for-bit,
+and a warm rerun must be served >= 95 % from the shared cache.  The same
+script runs over the filesystem spool (``make sweep-smoke``) and the
+asyncio TCP broker (``make sweep-smoke-tcp``).
 """
 
 from __future__ import annotations
@@ -18,12 +19,13 @@ import pytest
 
 from repro.sweep import (
     DistributedBackend,
-    JobSpool,
     SerialBackend,
     SweepCache,
     SweepEngine,
     SweepGrid,
+    TcpBroker,
     results_identical,
+    transport_from_spec,
 )
 
 from benchmarks._common import SEED, record_bench, scenario
@@ -49,7 +51,8 @@ def _timed(fn):
     return value, time.perf_counter() - start
 
 
-def test_distributed_smoke_with_worker_kill(tmp_path, capsys):
+@pytest.mark.parametrize("transport_kind", ["filesystem", "tcp"])
+def test_distributed_smoke_with_worker_kill(transport_kind, tmp_path, capsys):
     grid = SMOKE_GRID
     assert len(grid) >= 32
 
@@ -57,42 +60,51 @@ def test_distributed_smoke_with_worker_kill(tmp_path, capsys):
         lambda: SweepEngine(backend=SerialBackend()).run(grid)
     )
 
-    # -- cold distributed pass, killing one worker mid-sweep -------------
-    cache = SweepCache(tmp_path / "cache")
-    spool_root = tmp_path / "spool"
-    backend = DistributedBackend(
-        spool_root,
-        cache=cache,
-        lease_ttl=LEASE_TTL,
-        timeout=900.0,
-        local_workers=1,  # the survivor; the victim is spawned by hand
-    )
-    spool = JobSpool(spool_root, lease_ttl=LEASE_TTL)
-    for sc in grid.scenarios():
-        spool.submit(sc)
+    broker = None
+    if transport_kind == "tcp":
+        broker = TcpBroker(lease_ttl=LEASE_TTL)
+        spool_spec = broker.start()
+    else:
+        spool_spec = str(tmp_path / "spool")
+    try:
+        # -- cold distributed pass, killing one worker mid-sweep ----------
+        cache = SweepCache(tmp_path / "cache")
+        backend = DistributedBackend(
+            spool_spec,
+            cache=cache,
+            lease_ttl=LEASE_TTL,
+            timeout=900.0,
+            local_workers=1,  # the survivor; the victim is spawned by hand
+        )
+        transport = transport_from_spec(spool_spec, lease_ttl=LEASE_TTL)
+        transport.submit_many(grid.scenarios())
 
-    victim = backend.spawn_local_worker(index=99)
-    deadline = time.monotonic() + 120.0
-    while time.monotonic() < deadline:
-        status = spool.status()
-        # Kill while the victim plausibly holds a lease and work remains,
-        # so at least one job must be reassigned via lease expiry.
-        if status.running >= 1 and status.done < status.total - 2:
-            break
-        time.sleep(0.02)
-    victim.send_signal(signal.SIGKILL)
-    victim.wait()
-    killed_at_status = spool.status()
+        victim = backend.spawn_local_worker(index=99)
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            status = transport.status()
+            # Kill while the victim plausibly holds a lease and work
+            # remains, so its chunk must be reassigned via lease expiry.
+            if status.running >= 1 and status.done < status.total - 2:
+                break
+            time.sleep(0.02)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        killed_at_status = transport.status()
 
-    engine = SweepEngine(cache=cache, backend=backend)
-    distributed, t_distributed = _timed(lambda: engine.run(grid))
-    identical = all(
-        results_identical(a.result, b.result)
-        for a, b in zip(serial, distributed)
-    )
+        engine = SweepEngine(cache=cache, backend=backend)
+        distributed, t_distributed = _timed(lambda: engine.run(grid))
+        identical = all(
+            results_identical(a.result, b.result)
+            for a, b in zip(serial, distributed)
+        )
 
-    # -- warm rerun must be nearly free -----------------------------------
-    warm, t_warm = _timed(lambda: engine.run(grid))
+        # -- warm rerun must be nearly free -------------------------------
+        warm, t_warm = _timed(lambda: engine.run(grid))
+        final_status = transport.status()
+    finally:
+        if broker is not None:
+            broker.stop()
     warm_hits = sum(1 for outcome in warm if outcome.from_cache)
     warm_hit_fraction = warm_hits / len(grid)
 
@@ -100,6 +112,7 @@ def test_distributed_smoke_with_worker_kill(tmp_path, capsys):
     record_bench(
         "distributed_smoke",
         {
+            "transport": transport_kind,
             "grid_size": len(grid),
             "serial_s": round(t_serial, 3),
             "distributed_s": round(t_distributed, 3),
@@ -114,8 +127,8 @@ def test_distributed_smoke_with_worker_kill(tmp_path, capsys):
 
     with capsys.disabled():
         print()
-        print(f"=== distributed smoke: {len(grid)} scenarios, "
-              f"2 workers, 1 killed mid-sweep ===")
+        print(f"=== distributed smoke ({transport_kind}): {len(grid)} "
+              f"scenarios, 2 workers, 1 killed mid-sweep ===")
         print(f"at kill: {killed_at_status.done} done, "
               f"{killed_at_status.running} running, "
               f"{killed_at_status.pending} pending")
@@ -125,7 +138,7 @@ def test_distributed_smoke_with_worker_kill(tmp_path, capsys):
               f"in {t_warm:.2f}s")
 
     assert identical, "distributed results must match serial bit-for-bit"
-    assert spool.status().done == spool.status().total
+    assert final_status.done == final_status.total
     assert warm_hit_fraction >= 0.95, (
         f"warm rerun only {warm_hit_fraction:.1%} from cache"
     )

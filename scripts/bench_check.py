@@ -7,7 +7,16 @@ it.  Checks:
 
 * the file parses as JSON with the expected envelope,
 * every run entry has a label and an ISO-8601 UTC timestamp,
-* timestamps are monotone non-decreasing (append-only, never rewritten).
+* timestamps are monotone non-decreasing (append-only, never rewritten),
+* every run records the host's cpu_count as a positive integer (the
+  denominator every speedup claim is judged against),
+* the distributed gate: any ``distributed_vs_serial`` run on a grid of
+  >= 64 scenarios from a multi-core host must show
+  ``distributed_speedup >= 1.0`` — the broker/worker path earning its
+  keep is a regression-checked claim, not a hope.  Single-core hosts
+  are exempt (a lone worker physically cannot beat serial plus
+  collection overhead), as are sub-64 grids (too small to amortize
+  fleet startup).
 
 Exit code 0 on success, 1 with a diagnostic otherwise.  An absent file
 is an error only with ``--require`` (fresh clones have no measurements
@@ -25,6 +34,32 @@ import time
 from pathlib import Path
 
 DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: The distributed gate only binds where winning is physically possible:
+#: a grid big enough to amortize the broker, on a host with >= 2 cores.
+DISTRIBUTED_GATE_GRID = 64
+DISTRIBUTED_GATE_CORES = 2
+
+
+def _check_distributed_gate(run: dict, where: str) -> list[str]:
+    if run.get("label") != "distributed_vs_serial":
+        return []
+    grid = run.get("grid_size")
+    cores = run.get("cpu_count")
+    speedup = run.get("distributed_speedup")
+    if not isinstance(grid, int) or grid < DISTRIBUTED_GATE_GRID:
+        return []
+    if not isinstance(cores, int) or cores < DISTRIBUTED_GATE_CORES:
+        return []
+    if not isinstance(speedup, (int, float)):
+        return [f"{where}: distributed_vs_serial run missing distributed_speedup"]
+    if speedup < 1.0:
+        return [
+            f"{where}: distributed_speedup {speedup} < 1.0 on a "
+            f"{grid}-scenario grid with {cores} cores — the distributed "
+            "path regressed below serial"
+        ]
+    return []
 
 
 def check(path: Path) -> list[str]:
@@ -54,6 +89,12 @@ def check(path: Path) -> list[str]:
             continue
         if not run.get("label"):
             problems.append(f"{where}: missing label")
+        cpus = run.get("cpu_count")
+        if not isinstance(cpus, int) or isinstance(cpus, bool) or cpus < 1:
+            problems.append(
+                f"{where}: cpu_count must be a positive integer, got {cpus!r}"
+            )
+        problems.extend(_check_distributed_gate(run, where))
         stamp = run.get("timestamp")
         try:
             parsed = time.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")

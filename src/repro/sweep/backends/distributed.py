@@ -1,11 +1,22 @@
-"""Fault-tolerant broker/worker execution over a shared job spool.
+"""Fault-tolerant broker/worker execution over a pluggable transport.
 
 The distributed backend turns a sweep into datacenter-shaped work: the
-submitting host spills scenario jobs into a **spool** (a directory on
-storage every participant can reach), stateless **workers** claim jobs
-via atomic leases, execute them, and publish results into the shared
-content-addressed :class:`~repro.sweep.cache.SweepCache`; the submitter
-polls done markers and reads results back by config hash.
+submitting host enqueues scenario jobs with a **broker**, stateless
+**workers** claim jobs in *chunks* via leases, execute them, and publish
+results into the shared content-addressed
+:class:`~repro.sweep.cache.SweepCache`; the submitter polls done markers
+and reads results back by config hash.
+
+Two interchangeable transports implement the
+:class:`~repro.sweep.backends.base.BrokerTransport` contract:
+
+* :class:`JobSpool` (this module) — a directory on storage every
+  participant can reach; zero daemons, every operation a small atomic
+  filesystem action.
+* :class:`~repro.sweep.backends.tcp.TcpTransport` — a client of the
+  asyncio line-protocol broker (``python -m repro.sweep broker``),
+  selected with ``tcp://host:port`` spool specs; one round trip per
+  chunk instead of four filesystem round trips per job.
 
 Spool layout (all writes atomic: tmp + rename, or ``O_CREAT|O_EXCL``)::
 
@@ -18,17 +29,22 @@ Lease semantics
 ---------------
 * **Claim**: creating the lease file with ``O_CREAT | O_EXCL`` — a true
   filesystem-level mutex, so two racing workers claim a fresh job exactly
-  once.
-* **Heartbeat**: the owner touches the lease mtime on a background
-  thread while the job runs.
-* **Expiry / steal**: a lease whose mtime is older than ``lease_ttl`` is
-  presumed dead (worker crashed mid-job); any worker may steal it by
-  atomically replacing the lease and verifying its own token read back.
-  The verification window still admits a rare double-execution — which is
-  *safe*, because results are a pure function of the scenario config and
-  cache writes are idempotent.  Leases guarantee at-least-once execution
-  and best-effort exactly-once; determinism upgrades that to
-  exactly-once *semantics*.
+  once.  A claim leases up to K jobs in one directory scan
+  (:meth:`JobSpool.claim_chunk`), so the scan cost amortizes K-fold.
+* **Heartbeat**: the owner touches the lease mtimes of its whole chunk
+  on one background thread while the jobs run.
+* **Expiry / steal**: a lease is presumed dead (worker crashed mid-job)
+  once *this observer* has watched its mtime stay frozen for
+  ``lease_ttl`` seconds of local monotonic time.  Ages are never derived
+  from ``time.time() - mtime``: the mtime was written by another host,
+  and on NFS-style spools a few seconds of clock skew would spuriously
+  expire live leases (or keep dead ones alive).  Any worker may steal an
+  expired lease by atomically replacing it and verifying its own token
+  read back.  The verification window still admits a rare
+  double-execution — which is *safe*, because results are a pure
+  function of the scenario config and cache writes are idempotent.
+  Leases guarantee at-least-once execution and best-effort exactly-once;
+  determinism upgrades that to exactly-once *semantics*.
 """
 
 from __future__ import annotations
@@ -41,12 +57,18 @@ import sys
 import threading
 import time
 import uuid
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
 from repro.cas import atomic_write_bytes, stable_hash
-from repro.sweep.backends.base import ExecutionBackend, timed_run
+from repro.sweep.backends.base import (
+    BrokerTransport,
+    ExecutionBackend,
+    SpoolJob,
+    SpoolStatus,
+    timed_run,
+    transport_from_spec,
+)
 from repro.sweep.cache import SweepCache
 from repro.sweep.grid import Scenario
 
@@ -59,47 +81,21 @@ __all__ = [
     "run_worker",
 ]
 
+#: A chunk lease targets this many seconds of scenario compute by default:
+#: long enough to amortize broker round trips thousandfold on sub-50ms
+#: scenarios, short enough that a crashed worker forfeits ~1s of work.
+DEFAULT_CHUNK_TARGET = 1.0
+
+#: Upper bound on jobs per lease regardless of how cheap scenarios are,
+#: so one worker cannot strand the whole tail of a grid behind its lease.
+DEFAULT_CHUNK_MAX = 16
+
 
 def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
-@dataclass(frozen=True)
-class SpoolJob:
-    """One claimed unit of work."""
-
-    job_id: str
-    scenario: Scenario
-
-
-@dataclass(frozen=True)
-class SpoolStatus:
-    """Point-in-time census of a spool.
-
-    ``done`` counts every job with a completion marker, including the
-    ``failed`` ones (a failed job is drained — it will not be retried
-    until explicitly re-queued).
-    """
-
-    total: int
-    done: int
-    running: int
-    expired: int
-    pending: int
-    failed: int = 0
-
-    def to_payload(self) -> dict:
-        return {
-            "total": self.total,
-            "done": self.done,
-            "running": self.running,
-            "expired": self.expired,
-            "pending": self.pending,
-            "failed": self.failed,
-        }
-
-
-class JobSpool:
+class JobSpool(BrokerTransport):
     """Filesystem broker: submit, claim, heartbeat, complete.
 
     Every operation is a small atomic filesystem action, so any number of
@@ -114,12 +110,21 @@ class JobSpool:
             raise ValueError("lease_ttl must be positive")
         self._root = Path(root)
         self.lease_ttl = lease_ttl
+        #: job_id -> (lease mtime_ns, monotonic time we first saw it).
+        #: Liveness bookkeeping for :meth:`lease_age` — ages are measured
+        #: as local monotonic dwell at an unchanged mtime, never as
+        #: wall-clock minus another host's timestamp.
+        self._lease_seen: dict[str, tuple[int, float]] = {}
         for sub in ("jobs", "leases", "done"):
             (self._root / sub).mkdir(parents=True, exist_ok=True)
 
     @property
     def root(self) -> Path:
         return self._root
+
+    @property
+    def spec(self) -> str:
+        return str(self._root)
 
     # -- paths -----------------------------------------------------------
 
@@ -146,6 +151,9 @@ class JobSpool:
             atomic_write_bytes(path, payload.encode())
         return job_id
 
+    def submit_many(self, scenarios: Sequence[Scenario]) -> list[str]:
+        return [self.submit(scenario) for scenario in scenarios]
+
     def load_scenario(self, job_id: str) -> Scenario:
         return Scenario.from_payload(json.loads(self.job_path(job_id).read_text()))
 
@@ -155,13 +163,29 @@ class JobSpool:
     # -- lease lifecycle -------------------------------------------------
 
     def lease_age(self, job_id: str) -> float | None:
-        """Seconds since the owner's last heartbeat, or ``None`` if unleased."""
-        try:
-            return max(0.0, time.time() - self.lease_path(job_id).stat().st_mtime)
-        except OSError:
-            return None
+        """Seconds *this observer* has seen the lease without a heartbeat.
 
-    def try_claim(self, job_id: str, worker_id: str) -> bool:
+        ``None`` if unleased.  A lease whose mtime just changed (or that
+        we are seeing for the first time) has age 0: the age is the local
+        monotonic dwell since the last observed mtime change, so a remote
+        worker's skewed wall clock can neither spuriously expire a live
+        lease nor keep a dead one alive.  The cost is that a fresh
+        observer must watch a dead lease for a full ``lease_ttl`` before
+        stealing it — the safe direction to err.
+        """
+        try:
+            mtime_ns = self.lease_path(job_id).stat().st_mtime_ns
+        except OSError:
+            self._lease_seen.pop(job_id, None)
+            return None
+        now = time.monotonic()
+        seen = self._lease_seen.get(job_id)
+        if seen is None or seen[0] != mtime_ns:
+            self._lease_seen[job_id] = (mtime_ns, now)
+            return 0.0
+        return now - seen[1]
+
+    def try_claim(self, job_id: str, worker_id: str, _retry: bool = True) -> bool:
         """Attempt to own ``job_id``; at most one claimer of a fresh job wins."""
         if self.done_path(job_id).exists():
             return False
@@ -172,7 +196,10 @@ class JobSpool:
         except FileExistsError:
             age = self.lease_age(job_id)
             if age is None:
-                return False  # released between the check and the stat
+                # The owner released between our failed O_EXCL and the
+                # stat — the job is free again, so take one more swing at
+                # the O_EXCL create instead of wrongly reporting it taken.
+                return _retry and self.try_claim(job_id, worker_id, _retry=False)
             if age <= self.lease_ttl:
                 return False  # live owner
             return self._steal(job_id, token)
@@ -187,13 +214,16 @@ class JobSpool:
         try:
             tmp.write_text(token)
             os.replace(tmp, lease)
-            return lease.read_text() == token
+            won = lease.read_text() == token
         except OSError:
             try:
                 tmp.unlink()
             except OSError:
                 pass
             return False
+        if won:
+            self._lease_seen.pop(job_id, None)
+        return won
 
     def heartbeat(self, job_id: str) -> None:
         try:
@@ -201,25 +231,50 @@ class JobSpool:
         except OSError:
             pass  # lease stolen or spool pruned; the job re-runs harmlessly
 
+    def heartbeat_many(self, job_ids: Sequence[str]) -> None:
+        for job_id in job_ids:
+            self.heartbeat(job_id)
+
     def release(self, job_id: str) -> None:
         """Drop a lease without completing the job (worker shutting down)."""
+        self._lease_seen.pop(job_id, None)
         try:
             self.lease_path(job_id).unlink()
         except OSError:
             pass
 
-    def claim_next(self, worker_id: str) -> SpoolJob | None:
-        """Claim the first available job, or ``None`` if nothing is claimable."""
+    def release_many(self, job_ids: Sequence[str]) -> None:
+        for job_id in job_ids:
+            self.release(job_id)
+
+    def claim_chunk(self, worker_id: str, max_jobs: int = 1) -> list[SpoolJob]:
+        """Lease up to ``max_jobs`` runnable jobs in one directory scan.
+
+        The scan — one listdir plus a done-marker stat per job — is the
+        expensive part of a filesystem claim; leasing a whole chunk per
+        scan is what amortizes spool overhead K-fold for sub-second
+        scenarios.
+        """
+        chunk: list[SpoolJob] = []
         for job_id in self.job_ids():
+            if len(chunk) >= max_jobs:
+                break
             if self.done_path(job_id).exists():
                 continue
             if self.try_claim(job_id, worker_id):
                 try:
-                    return SpoolJob(job_id=job_id, scenario=self.load_scenario(job_id))
+                    chunk.append(
+                        SpoolJob(job_id=job_id, scenario=self.load_scenario(job_id))
+                    )
                 except (OSError, ValueError, KeyError, TypeError):
                     self.quarantine(job_id)  # torn or foreign job file
                     self.release(job_id)
-        return None
+        return chunk
+
+    def claim_next(self, worker_id: str) -> SpoolJob | None:
+        """Claim the first available job, or ``None`` if nothing is claimable."""
+        chunk = self.claim_chunk(worker_id, max_jobs=1)
+        return chunk[0] if chunk else None
 
     def quarantine(self, job_id: str) -> None:
         """Sideline a malformed job file so it stops being claimable.
@@ -266,8 +321,17 @@ class JobSpool:
         except (OSError, ValueError):
             return None
 
+    def done_info_many(self, job_ids: Sequence[str]) -> dict[str, dict]:
+        infos: dict[str, dict] = {}
+        for job_id in job_ids:
+            info = self.done_info(job_id)
+            if info is not None:
+                infos[job_id] = info
+        return infos
+
     def reset_job(self, job_id: str) -> None:
         """Forget a completion (e.g. its cache entry was pruned) so it re-runs."""
+        self._lease_seen.pop(job_id, None)
         for path in (self.done_path(job_id), self.lease_path(job_id)):
             try:
                 path.unlink()
@@ -301,20 +365,28 @@ class JobSpool:
 
 
 class _LeaseHeartbeat:
-    """Touches a lease on a daemon thread while its job executes."""
+    """Beats every lease of an in-flight chunk on one daemon thread.
 
-    def __init__(self, spool: JobSpool, job_id: str, interval: float) -> None:
-        self._spool = spool
-        self._job_id = job_id
+    ``job_ids`` is a live set the worker shrinks as jobs complete, so a
+    finished job's lease stops being touched without thread churn.
+    """
+
+    def __init__(
+        self, transport: BrokerTransport, job_ids: set[str], interval: float
+    ) -> None:
+        self._transport = transport
+        self._job_ids = job_ids
         self._interval = interval
         self._stop = threading.Event()
         self._thread = threading.Thread(
-            target=self._run, name=f"lease-heartbeat-{job_id[:8]}", daemon=True
+            target=self._run, name="lease-heartbeat", daemon=True
         )
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
-            self._spool.heartbeat(self._job_id)
+            beat = sorted(self._job_ids)  # snapshot: the worker mutates the set
+            if beat:
+                self._transport.heartbeat_many(beat)
 
     def __enter__(self) -> "_LeaseHeartbeat":
         self._thread.start()
@@ -326,7 +398,7 @@ class _LeaseHeartbeat:
 
 
 def run_worker(
-    spool: JobSpool | Path | str,
+    spool: BrokerTransport | Path | str,
     cache: SweepCache | None = None,
     lease_ttl: float = 30.0,
     heartbeat_interval: float | None = None,
@@ -334,73 +406,107 @@ def run_worker(
     exit_when_idle: bool = False,
     max_jobs: int | None = None,
     worker_id: str | None = None,
+    chunk_target: float = DEFAULT_CHUNK_TARGET,
+    chunk_max: int = DEFAULT_CHUNK_MAX,
 ) -> int:
-    """Serve a spool: claim → execute → publish, until told to stop.
+    """Serve a broker: claim chunks → execute → publish, until told to stop.
 
-    Returns the number of jobs this worker executed.  ``exit_when_idle``
-    makes the worker exit once every spooled job has a done marker (it
-    keeps waiting while other workers hold live leases, so it can take
-    over if they die).  Workers are stateless: killing one at any point
-    loses nothing but the lease TTL.
+    Returns the number of jobs this worker executed.  ``spool`` is a
+    transport, a spool directory, or a ``tcp://host:port`` broker
+    address.  Each lease claims up to ``chunk_max`` jobs sized so a chunk
+    holds roughly ``chunk_target`` seconds of work (an EWMA of measured
+    per-scenario cost decides K — the first claim takes a single job to
+    get a measurement).  ``exit_when_idle`` makes the worker exit once
+    every spooled job has a done marker (it keeps waiting while other
+    workers hold live leases, so it can take over if they die).  Workers
+    are stateless: killing one at any point loses nothing but the lease
+    TTL and the unfinished remainder of its chunk.
     """
-    if not isinstance(spool, JobSpool):
-        spool = JobSpool(spool, lease_ttl=lease_ttl)
+    transport = (
+        spool
+        if isinstance(spool, BrokerTransport)
+        else transport_from_spec(spool, lease_ttl=lease_ttl)
+    )
     cache = cache if cache is not None else SweepCache()
     worker_id = worker_id or default_worker_id()
+    if chunk_max < 1:
+        raise ValueError("chunk_max must be at least 1")
     heartbeat = (
         heartbeat_interval
         if heartbeat_interval is not None
-        else max(spool.lease_ttl / 4.0, 0.05)
+        else max(transport.lease_ttl / 4.0, 0.05)
     )
     executed = 0
+    avg_cost: float | None = None  # EWMA seconds per scenario
     while max_jobs is None or executed < max_jobs:
-        job = spool.claim_next(worker_id)
-        if job is None:
-            if exit_when_idle and spool.all_done():
+        want = (
+            1
+            if avg_cost is None
+            else max(1, min(chunk_max, int(chunk_target / max(avg_cost, 1e-6))))
+        )
+        if max_jobs is not None:
+            want = min(want, max_jobs - executed)
+        chunk = transport.claim_chunk(worker_id, max_jobs=want)
+        if not chunk:
+            if exit_when_idle and transport.all_done():
                 break
             time.sleep(poll_interval)
             continue
-        try:
-            with _LeaseHeartbeat(spool, job.job_id, heartbeat):
-                result, duration = timed_run(job.scenario)
-        except Exception as exc:
-            # Deterministic scenarios fail deterministically (unknown
-            # policy, bad kwargs): re-queueing the job would crash the
-            # next worker too, one process at a time, until the fleet is
-            # dead.  Record the failure and keep serving.
-            spool.mark_failed(
-                job.job_id, error=f"{type(exc).__name__}: {exc}",
-                worker_id=worker_id,
-            )
-            executed += 1
-            continue
-        except BaseException:
-            spool.release(job.job_id)  # shutdown: let another worker have it
-            raise
-        cache.put(cache.key(job.scenario), result)
-        spool.mark_done(
-            job.job_id, key=cache.key(job.scenario), duration=duration,
-            worker_id=worker_id,
-        )
-        executed += 1
+        leased = {job.job_id for job in chunk}
+        with _LeaseHeartbeat(transport, leased, heartbeat):
+            for job in chunk:
+                try:
+                    result, duration = timed_run(job.scenario)
+                except Exception as exc:
+                    # Deterministic scenarios fail deterministically
+                    # (unknown policy, bad kwargs): re-queueing the job
+                    # would crash the next worker too, one process at a
+                    # time, until the fleet is dead.  Record the failure
+                    # and keep serving.
+                    transport.mark_failed(
+                        job.job_id, error=f"{type(exc).__name__}: {exc}",
+                        worker_id=worker_id,
+                    )
+                    leased.discard(job.job_id)
+                    executed += 1
+                    continue
+                except BaseException:
+                    # Shutdown mid-chunk: hand the unfinished remainder back.
+                    transport.release_many(sorted(leased))
+                    raise
+                cache.put(cache.key(job.scenario), result)
+                transport.mark_done(
+                    job.job_id, key=cache.key(job.scenario), duration=duration,
+                    worker_id=worker_id,
+                )
+                leased.discard(job.job_id)
+                executed += 1
+                avg_cost = (
+                    duration
+                    if avg_cost is None
+                    else 0.5 * avg_cost + 0.5 * duration
+                )
     return executed
 
 
 class DistributedBackend(ExecutionBackend):
-    """Execute scenarios through a shared spool and worker fleet.
+    """Execute scenarios through a shared broker and worker fleet.
 
     ``execute`` submits jobs, optionally spawns ``local_workers`` worker
-    processes (``python -m repro.sweep worker``) against the spool, then
+    processes (``python -m repro.sweep worker``) against the broker, then
     polls done markers and reads each result back from the shared cache
-    by its config hash.  Remote hosts join the same sweep by running
-    workers against the same spool and cache paths — no code changes.
+    by its config hash.  ``spool`` names the transport: a filesystem
+    spool directory, a ``tcp://host:port`` broker address, or an
+    explicit :class:`~repro.sweep.backends.base.BrokerTransport`.
+    Remote hosts join the same sweep by running workers against the same
+    spool/broker and cache paths — no code changes.
     """
 
     name = "distributed"
 
     def __init__(
         self,
-        spool: Path | str,
+        spool: BrokerTransport | Path | str,
         cache: SweepCache | None = None,
         lease_ttl: float = 30.0,
         poll_interval: float = 0.05,
@@ -408,7 +514,7 @@ class DistributedBackend(ExecutionBackend):
         local_workers: int = 0,
         import_modules: tuple[str, ...] = (),
     ) -> None:
-        self._spool_root = Path(spool)
+        self._spool_spec = spool
         self._cache = cache if cache is not None else SweepCache()
         self._lease_ttl = lease_ttl
         self._poll_interval = poll_interval
@@ -423,12 +529,35 @@ class DistributedBackend(ExecutionBackend):
     def result_store(self) -> SweepCache:
         return self._cache
 
+    def transport(self) -> BrokerTransport:
+        return transport_from_spec(self._spool_spec, lease_ttl=self._lease_ttl)
+
+    @property
+    def spool_spec(self) -> str:
+        """The ``--spool`` string workers reconnect with."""
+        if isinstance(self._spool_spec, BrokerTransport):
+            return self._spool_spec.spec
+        return str(self._spool_spec)
+
     @property
     def spool_root(self) -> Path:
-        return self._spool_root
+        """The filesystem spool directory (filesystem transport only)."""
+        spec = self.spool_spec
+        if spec.startswith("tcp://"):
+            raise ValueError(
+                f"backend speaks {spec}: a TCP broker has no spool directory"
+            )
+        return Path(spec)
 
-    def spawn_local_worker(self, index: int = 0) -> subprocess.Popen:
-        """Start one worker subprocess against this backend's spool."""
+    def _log_dir(self) -> Path:
+        if not self.spool_spec.startswith("tcp://"):
+            return self.spool_root / "logs"
+        return self._cache.root / "worker-logs"
+
+    def spawn_local_worker(
+        self, index: int = 0, exit_when_idle: bool = True
+    ) -> subprocess.Popen:
+        """Start one worker subprocess against this backend's broker."""
         import repro
 
         src_dir = str(Path(repro.__file__).resolve().parents[1])
@@ -437,7 +566,7 @@ class DistributedBackend(ExecutionBackend):
         env["PYTHONPATH"] = (
             src_dir if not existing else os.pathsep.join([src_dir, existing])
         )
-        log_dir = self._spool_root / "logs"
+        log_dir = self._log_dir()
         log_dir.mkdir(parents=True, exist_ok=True)
         log_path = log_dir / f"worker-{os.getpid()}-{index}.log"
         cmd = [
@@ -445,12 +574,13 @@ class DistributedBackend(ExecutionBackend):
             "-m",
             "repro.sweep",
             "worker",
-            "--spool", str(self._spool_root),
+            "--spool", self.spool_spec,
             "--cache", str(self._cache.root),
             "--lease-ttl", str(self._lease_ttl),
             "--poll", str(max(self._poll_interval, 0.01)),
-            "--exit-when-idle",
         ]
+        if exit_when_idle:
+            cmd.append("--exit-when-idle")
         for module in self._import_modules:
             cmd += ["--import", module]
         with open(log_path, "ab") as log:
@@ -460,13 +590,13 @@ class DistributedBackend(ExecutionBackend):
         scenarios = list(scenarios)
         if not scenarios:
             return []
-        spool = JobSpool(self._spool_root, lease_ttl=self._lease_ttl)
-        job_ids = [spool.submit(scenario) for scenario in scenarios]
+        transport = self.transport()
+        job_ids = transport.submit_many(scenarios)
         workers = [
             self.spawn_local_worker(i) for i in range(self._local_workers)
         ]
         try:
-            return self._collect(spool, scenarios, job_ids, workers)
+            return self._collect(transport, job_ids, workers)
         finally:
             for proc in workers:
                 if proc.poll() is None:
@@ -479,8 +609,7 @@ class DistributedBackend(ExecutionBackend):
 
     def _collect(
         self,
-        spool: JobSpool,
-        scenarios: list[Scenario],
+        transport: BrokerTransport,
         job_ids: list[str],
         workers: list[subprocess.Popen],
     ) -> list[tuple]:
@@ -491,21 +620,19 @@ class DistributedBackend(ExecutionBackend):
         outstanding = dict.fromkeys(job_ids)  # preserves order, dedupes
         exited_strikes = 0
         while True:
-            for job_id in [j for j in outstanding if j not in collected]:
-                info = spool.done_info(job_id)
-                if info is None:
-                    continue
+            waiting = [j for j in outstanding if j not in collected]
+            for job_id, info in transport.done_info_many(waiting).items():
                 if "error" in info:
                     raise RuntimeError(
                         f"job {job_id} failed on worker "
                         f"{info.get('worker', '?')}: {info['error']} "
-                        f"(spool.reset_job({job_id!r}) re-queues it)"
+                        f"(transport.reset_job({job_id!r}) re-queues it)"
                     )
                 result = self._cache.get(info["key"], record=False)
                 if result is None:
                     # Done marker outlived its cache entry (pruned or torn):
                     # forget the completion so a worker recomputes it.
-                    spool.reset_job(job_id)
+                    transport.reset_job(job_id)
                     continue
                 collected[job_id] = (result, float(info.get("duration", 0.0)))
             if all(job_id in collected for job_id in outstanding):
@@ -515,7 +642,7 @@ class DistributedBackend(ExecutionBackend):
                 raise TimeoutError(
                     f"distributed sweep timed out with {len(missing)} of "
                     f"{len(outstanding)} jobs outstanding (spool: "
-                    f"{self._spool_root}, first missing: {missing[0]})"
+                    f"{self.spool_spec}, first missing: {missing[0]})"
                 )
             if workers and all(proc.poll() is not None for proc in workers):
                 # Every locally spawned worker exited with jobs outstanding
@@ -530,13 +657,13 @@ class DistributedBackend(ExecutionBackend):
                     raise RuntimeError(
                         f"all {len(workers)} local workers exited with "
                         f"{len(missing)} jobs outstanding; see logs under "
-                        f"{self._spool_root / 'logs'}"
+                        f"{self._log_dir()}"
                     )
             time.sleep(self._poll_interval)
         return [collected[job_id] for job_id in job_ids]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"DistributedBackend(spool={str(self._spool_root)!r}, "
+            f"DistributedBackend(spool={self.spool_spec!r}, "
             f"local_workers={self._local_workers})"
         )

@@ -2,17 +2,31 @@
 
 Subcommands::
 
-    submit   expand a grid or spec file into spool jobs (opt. wait)
-    worker   serve a spool: claim, execute, publish to the shared cache
-    status   census of a spool (pending / running / expired / done)
+    submit   expand a grid or spec file into broker jobs (opt. wait)
+    worker   serve a broker: claim chunks, execute, publish to the cache
+    broker   run the asyncio TCP broker (tcp:// spools point at it)
+    status   census of a spool/broker (pending / running / expired / done)
     cache    stats | prune — inspect and bound the result cache
 
-A two-host sweep is two shell lines (shared storage for spool + cache)::
+Every ``--spool`` flag accepts either a shared spool *directory* (the
+zero-daemon filesystem transport) or ``tcp://host:port`` naming a
+running broker.  A two-host sweep over shared storage is two shell
+lines::
 
     host-a$ python -m repro.sweep submit --spool /share/spool \\
                 --services memcached --apps kmeans+canneal \\
                 --loads 0.5,0.7,0.9 --seeds 0,1 --wait --workers 2
     host-b$ python -m repro.sweep worker --spool /share/spool \\
+                --cache /share/cache --exit-when-idle
+
+and the same sweep through the TCP broker (no shared spool storage;
+the cache still has to be shared) is three::
+
+    host-a$ python -m repro.sweep broker --port 7077
+    host-a$ python -m repro.sweep submit --spool tcp://host-a:7077 \\
+                --services memcached --apps kmeans+canneal \\
+                --loads 0.5,0.7,0.9 --seeds 0,1 --wait
+    host-b$ python -m repro.sweep worker --spool tcp://host-a:7077 \\
                 --cache /share/cache --exit-when-idle
 
 Grid flags only reach the six axes ``SweepGrid`` hard-codes; ``--spec
@@ -27,10 +41,18 @@ import argparse
 import importlib
 import json
 import sys
-from pathlib import Path
 
 from repro.experiment import ExperimentSpec, run_experiment
-from repro.sweep.backends import DistributedBackend, JobSpool, run_worker
+from repro.sweep.backends import (
+    DistributedBackend,
+    run_worker,
+    transport_from_spec,
+)
+from repro.sweep.backends.distributed import (
+    DEFAULT_CHUNK_MAX,
+    DEFAULT_CHUNK_TARGET,
+)
+from repro.sweep.backends.tcp import TcpBroker
 from repro.sweep.cache import SweepCache
 from repro.sweep.grid import Scenario, SweepGrid
 
@@ -121,17 +143,16 @@ def cmd_submit(args) -> int:
     spec = build_spec(args)
     scenarios = spec.scenarios()
     if not args.wait:
-        spool = JobSpool(args.spool, lease_ttl=args.lease_ttl)
-        for scenario in scenarios:
-            spool.submit(scenario)
-        status = spool.status()
+        transport = transport_from_spec(args.spool, lease_ttl=args.lease_ttl)
+        transport.submit_many(scenarios)
+        status = transport.status()
         print(
-            f"spooled {len(scenarios)} scenarios into {spool.root} "
+            f"spooled {len(scenarios)} scenarios into {transport.spec} "
             f"({status.done} already done, {status.pending} pending)"
         )
         print(
             "start workers with: python -m repro.sweep worker "
-            f"--spool {spool.root} --cache {_cache_from(args).root}"
+            f"--spool {transport.spec} --cache {_cache_from(args).root}"
         )
         return 0
     cache = _cache_from(args)
@@ -170,19 +191,28 @@ def cmd_worker(args) -> int:
         exit_when_idle=args.exit_when_idle,
         max_jobs=args.max_jobs,
         worker_id=args.worker_id,
+        chunk_target=args.chunk_target,
+        chunk_max=args.chunk_max,
     )
     print(f"worker drained: executed {executed} jobs")
     return 0
 
 
+def cmd_broker(args) -> int:
+    TcpBroker(
+        host=args.host, port=args.port, lease_ttl=args.lease_ttl
+    ).serve_forever()
+    return 0
+
+
 def cmd_status(args) -> int:
-    status = JobSpool(args.spool, lease_ttl=args.lease_ttl).status()
+    status = transport_from_spec(args.spool, lease_ttl=args.lease_ttl).status()
     if args.json:
         print(json.dumps(status.to_payload()))
     else:
         failed = f" ({status.failed} failed)" if status.failed else ""
         print(
-            f"spool {Path(args.spool)}: {status.total} jobs — "
+            f"spool {args.spool}: {status.total} jobs — "
             f"{status.done} done{failed}, {status.running} running, "
             f"{status.expired} expired leases, {status.pending} pending"
         )
@@ -231,8 +261,9 @@ def _add_cache_arg(parser) -> None:
 
 
 def _add_spool_args(parser) -> None:
-    parser.add_argument("--spool", required=True, metavar="DIR",
-                        help="shared spool directory (jobs/leases/done)")
+    parser.add_argument("--spool", required=True, metavar="DIR|tcp://H:P",
+                        help="shared spool directory (jobs/leases/done) or "
+                        "tcp://host:port of a running broker")
     parser.add_argument("--lease-ttl", type=float, default=30.0, metavar="SEC",
                         help="heartbeats older than this mark a worker dead")
 
@@ -291,12 +322,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit after executing N jobs")
     worker.add_argument("--worker-id", default=None,
                         help="override the hostname-pid worker id")
+    worker.add_argument("--chunk-target", type=float,
+                        default=DEFAULT_CHUNK_TARGET, metavar="SEC",
+                        help="lease chunks sized to roughly this many "
+                        "seconds of measured scenario work")
+    worker.add_argument("--chunk-max", type=int, default=DEFAULT_CHUNK_MAX,
+                        metavar="N",
+                        help="never claim more than N jobs per lease")
     worker.add_argument("--import", dest="import_modules", action="append",
                         metavar="MODULE",
                         help="import MODULE first (custom policy registration)")
     worker.set_defaults(func=cmd_worker)
 
-    status = sub.add_parser("status", help="census of a spool")
+    broker = sub.add_parser(
+        "broker", help="run the asyncio TCP broker in the foreground"
+    )
+    broker.add_argument("--host", default="127.0.0.1",
+                        help="bind address (0.0.0.0 for a multi-host fleet)")
+    broker.add_argument("--port", type=int, default=0, metavar="N",
+                        help="listen port (0 picks a free one and prints it)")
+    broker.add_argument("--lease-ttl", type=float, default=30.0, metavar="SEC",
+                        help="heartbeats older than this mark a worker dead")
+    broker.set_defaults(func=cmd_broker)
+
+    status = sub.add_parser("status", help="census of a spool or broker")
     _add_spool_args(status)
     status.add_argument("--json", action="store_true")
     status.set_defaults(func=cmd_status)

@@ -123,15 +123,88 @@ class TestJobSpool:
         assert not spool.try_claim(job_id, "bob")
 
     def test_expired_lease_is_stolen(self, tmp_path):
-        import os
-
-        spool = JobSpool(tmp_path, lease_ttl=0.5)
+        spool = JobSpool(tmp_path, lease_ttl=0.2)
         job_id = spool.submit(BASE)
         assert spool.try_claim(job_id, "dead-worker")
-        stale = time.time() - 10.0
-        os.utime(spool.lease_path(job_id), (stale, stale))
-        assert spool.try_claim(job_id, "survivor")
+        # Expiry is monotonic dwell at a frozen mtime, observed by the
+        # would-be stealer itself: the first contact only starts the
+        # clock, and the steal lands once no heartbeat arrives for a TTL.
+        assert not spool.try_claim(job_id, "survivor")
+        deadline = time.monotonic() + 5.0
+        while not spool.try_claim(job_id, "survivor"):
+            assert time.monotonic() < deadline, "expired lease never stolen"
+            time.sleep(0.05)
         assert "survivor" in spool.lease_path(job_id).read_text()
+
+    def test_heartbeat_keeps_lease_alive(self, tmp_path):
+        spool = JobSpool(tmp_path, lease_ttl=0.2)
+        job_id = spool.submit(BASE)
+        assert spool.try_claim(job_id, "owner")
+        deadline = time.monotonic() + 0.5
+        while time.monotonic() < deadline:
+            spool.heartbeat(job_id)
+            assert not spool.try_claim(job_id, "thief")
+            time.sleep(0.05)
+
+    def test_released_lease_reclaimable_despite_race(self, tmp_path):
+        """Regression: a lease released between the failed O_EXCL open and
+        the age stat must not make try_claim report the job as taken."""
+
+        class RacingSpool(JobSpool):
+            def lease_age(self, job_id):
+                # The owner releases exactly in the window between our
+                # failed O_EXCL create and this stat.
+                JobSpool.release(self, job_id)
+                return None
+
+        spool = RacingSpool(tmp_path, lease_ttl=30.0)
+        job_id = spool.submit(BASE)
+        assert spool.try_claim(job_id, "owner")
+        assert spool.try_claim(job_id, "contender")
+        assert "contender" in spool.lease_path(job_id).read_text()
+
+    def test_lease_age_immune_to_clock_skew(self, tmp_path):
+        """Heartbeats stamped by a host whose clock is off by ±5s must not
+        spuriously expire (or immortalize) a lease: age is local monotonic
+        dwell since the last observed mtime *change*, never wall-clock
+        minus a foreign timestamp."""
+        import os
+
+        spool = JobSpool(tmp_path, lease_ttl=0.3)
+        job_id = spool.submit(BASE)
+        assert spool.try_claim(job_id, "remote-worker")
+        lease = spool.lease_path(job_id)
+
+        # Live worker, skewed clock: every heartbeat lands with a ±5s-off
+        # mtime, but each *changes* the mtime, so the observed age resets.
+        for step, skew in enumerate((-5.0, 5.0, -5.0, 5.0)):
+            stamp = time.time() + skew + step * 1e-3
+            os.utime(lease, (stamp, stamp))
+            age = spool.lease_age(job_id)
+            assert age is not None and age <= spool.lease_ttl
+            assert not spool.try_claim(job_id, "thief")
+            time.sleep(0.05)
+
+        # Dead worker, skewed clock: the mtime freezes (at a value wall
+        # clocks would misjudge in either direction) and monotonic dwell
+        # alone must expire it.
+        deadline = time.monotonic() + 5.0
+        while spool.lease_age(job_id) <= spool.lease_ttl:
+            assert time.monotonic() < deadline, "frozen lease never expired"
+            time.sleep(0.05)
+        assert spool.try_claim(job_id, "survivor")
+
+    def test_claim_chunk_leases_many_in_one_scan(self, tmp_path):
+        from dataclasses import replace
+
+        spool = JobSpool(tmp_path)
+        ids = [spool.submit(replace(BASE, seed=s)) for s in range(6)]
+        chunk = spool.claim_chunk("bulk-worker", max_jobs=4)
+        assert len(chunk) == 4
+        rest = spool.claim_chunk("other-worker", max_jobs=10)
+        assert len(rest) == 2
+        assert {j.job_id for j in chunk} | {j.job_id for j in rest} == set(ids)
+        assert spool.claim_chunk("late-worker", max_jobs=10) == []
 
     def test_done_job_not_claimable(self, tmp_path):
         spool = JobSpool(tmp_path)
@@ -141,16 +214,20 @@ class TestJobSpool:
         assert spool.claim_next("late-worker") is None
 
     def test_status_census(self, tmp_path):
-        import os
         from dataclasses import replace
 
-        spool = JobSpool(tmp_path, lease_ttl=5.0)
+        spool = JobSpool(tmp_path, lease_ttl=0.2)
         ids = [spool.submit(replace(BASE, seed=s)) for s in range(4)]
         spool.mark_done(ids[0], key="k", duration=0.1, worker_id="w")
         spool.try_claim(ids[1], "alive")
         spool.try_claim(ids[2], "dead")
-        stale = time.time() - 60.0
-        os.utime(spool.lease_path(ids[2]), (stale, stale))
+        first = spool.status()  # starts the observation clocks
+        assert (first.total, first.done, first.running) == (4, 1, 2)
+        # "alive" keeps heartbeating; "dead" goes silent past the TTL.
+        deadline = time.monotonic() + 0.35
+        while time.monotonic() < deadline:
+            spool.heartbeat(ids[1])
+            time.sleep(0.05)
         status = spool.status()
         assert (status.total, status.done) == (4, 1)
         assert (status.running, status.expired, status.pending) == (1, 1, 1)
@@ -160,18 +237,17 @@ class TestWorkerFaultTolerance:
     def test_crash_reassignment_produces_identical_result(self, tmp_path):
         """Dead worker's lease expires; a live worker re-runs the job and
         lands the exact same bits (the determinism contract)."""
-        import os
-
-        spool = JobSpool(tmp_path / "spool", lease_ttl=0.5)
+        spool = JobSpool(tmp_path / "spool", lease_ttl=0.3)
         cache = SweepCache(tmp_path / "cache")
         job_id = spool.submit(BASE)
-        # A worker claims the job, then "crashes": heartbeats stop.
+        # A worker claims the job, then "crashes": heartbeats stop, so the
+        # survivor's poll loop watches the lease sit frozen for a TTL of
+        # monotonic time and then steals it.
         assert spool.try_claim(job_id, "crashed-worker")
-        stale = time.time() - 10.0
-        os.utime(spool.lease_path(job_id), (stale, stale))
 
         executed = run_worker(
-            spool, cache=cache, exit_when_idle=True, worker_id="survivor"
+            spool, cache=cache, exit_when_idle=True, worker_id="survivor",
+            poll_interval=0.05,
         )
         assert executed == 1
         info = spool.done_info(job_id)
