@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-figs sweep-smoke sweep-smoke-tcp lint
+.PHONY: test bench bench-check bench-figs sweep-smoke sweep-smoke-tcp search-smoke lint
 
 ## Tier-1: fast unit/integration suite (the gate for every PR).
 test:
@@ -14,7 +14,7 @@ test:
 ## the distributed-vs-serial gap; appends trajectory entries to
 ## BENCH_sweep.json.
 bench:
-	$(PY) -m pytest benchmarks/test_sweep_engine.py -m benchmark -q
+	$(PY) -m pytest benchmarks/test_sweep_engine.py benchmarks/test_adaptive_search.py -m benchmark -q
 
 ## Distributed-backend smoke: >= 32-scenario grid through a two-worker local
 ## fleet with a mid-sweep worker kill; asserts bit-identity with the serial
@@ -25,6 +25,12 @@ sweep-smoke:
 ## Same smoke over the asyncio TCP broker (REPRO_SWEEP_SPOOL=tcp://host:port).
 sweep-smoke-tcp:
 	$(PY) -m pytest benchmarks/test_distributed_sweep.py -m benchmark -q -k tcp
+
+## Adaptive-search smoke: budgeted halving over a 256-point space must
+## evaluate <= 25% of it and land within 5% of the exhaustive optimum;
+## records adaptive_vs_exhaustive in BENCH_sweep.json.
+search-smoke:
+	$(PY) -m pytest benchmarks/test_adaptive_search.py -m benchmark -q
 
 ## Full figure-reproduction drivers (Figs. 1-10, ~minutes).
 bench-figs:

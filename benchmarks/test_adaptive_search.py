@@ -1,0 +1,97 @@
+"""Adaptive search vs. exhaustive sweep: the evaluations-saved claim.
+
+The smoke spec is a 256-point colocation space small enough to also run
+exhaustively, so the gate is measured, not asserted on faith: halving
+with a 64-evaluation budget (25% of the grid) must land within 5% of
+the exhaustive optimum.  A second check scales the space past 1024
+points — far too big to sweep here — and verifies the budget ceiling
+holds without the exhaustive reference.
+
+Every run appends an ``adaptive_vs_exhaustive`` entry to
+BENCH_sweep.json; ``scripts/bench_check.py`` gates the trajectory.
+"""
+
+import pytest
+
+from repro.experiment import run_experiment
+
+from benchmarks._common import ENGINE, bench_spec, record_bench
+
+pytestmark = pytest.mark.benchmark
+
+#: 8 x 4 x 4 x 2 = 256 grid points.
+SMOKE_SPEC = bench_spec(
+    "adaptive-search-smoke",
+    base={
+        "service": "memcached",
+        "apps": "kmeans",
+        "horizon": 8.0,
+        "monitor_epoch": 0.5,
+    },
+    axes={
+        "load_fraction": tuple(0.45 + 0.05 * i for i in range(8)),
+        "slack_threshold": (0.02, 0.05, 0.08, 0.12),
+        "decision_interval": (0.5, 1.0, 2.0, 4.0),
+    },
+).with_axis("seed", (0, 1))  # with_axis moves seed out of the bench base
+
+BUDGET = 64  # 25% of the smoke grid
+
+
+def test_halving_beats_exhaustive_on_evaluations():
+    assert len(SMOKE_SPEC) == 256
+
+    exhaustive = run_experiment(SMOKE_SPEC, engine=ENGINE)
+    searched = run_experiment(
+        SMOKE_SPEC, strategy="halving", budget=BUDGET, rng_seed=0,
+        engine=ENGINE,
+    )
+
+    from repro.search import Objective
+
+    primary = Objective("qos_met_fraction")
+    true_best = max(primary.score(o.result) for o in exhaustive)
+    found_best = primary.score(searched.best().result)
+    gap_pct = (
+        0.0 if true_best == 0
+        else 100.0 * (true_best - found_best) / abs(true_best)
+    )
+
+    record_bench(
+        "adaptive_vs_exhaustive",
+        {
+            "grid_size": len(SMOKE_SPEC),
+            "strategy": "halving",
+            "budget": BUDGET,
+            "evaluations": searched.evaluations,
+            "evaluations_fraction": round(
+                searched.evaluations / len(SMOKE_SPEC), 4
+            ),
+            "rounds": len(searched.rounds),
+            "best_exhaustive": true_best,
+            "best_found": found_best,
+            "best_gap_pct": round(gap_pct, 4),
+        },
+    )
+
+    assert searched.evaluations <= BUDGET
+    assert searched.evaluations / len(SMOKE_SPEC) <= 0.25
+    assert gap_pct <= 5.0, (
+        f"halving best {found_best} more than 5% below exhaustive optimum "
+        f"{true_best}"
+    )
+
+
+def test_budget_ceiling_holds_past_1024_points():
+    big = SMOKE_SPEC.with_axis("seed", (0, 1, 2, 3)).with_axis(
+        "slack_threshold", (0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16)
+    )
+    assert len(big) >= 1024
+    budget = len(big) // 4
+    searched = run_experiment(
+        big, strategy="halving", budget=budget, rng_seed=0, engine=ENGINE
+    )
+    assert 0 < searched.evaluations <= budget
+    assert searched.evaluations <= 0.25 * len(big)
+    # The best point must be a real full-fidelity grid point.
+    assert searched.best_scenario.horizon == 8.0

@@ -12,7 +12,7 @@ bypassed) — the cost Section 4.1 says is paid once per application.
 import pytest
 
 from repro.apps import ALL_APP_NAMES, make_app
-from repro.exploration import DesignSpaceExplorer
+from repro.search import DesignSpaceExplorer
 from repro.viz import format_table
 
 from benchmarks._common import SERVICES, ladder, run_point

@@ -19,7 +19,7 @@ from repro.apps.quality import relative_error_pct
 from repro.cluster import compare_policies
 from repro.core import PliantPolicy, PrecisePolicy
 from repro.core.runtime import ColocationConfig, ColocationEngine
-from repro.exploration import DesignSpaceExplorer
+from repro.search import DesignSpaceExplorer
 from repro.server.resources import ResourceProfile
 from repro.services import make_service
 from repro.viz import format_table

@@ -1,9 +1,14 @@
-"""Design-space exploration walkthrough (paper Section 3).
+"""Design-space exploration, two layers deep.
 
-Explores one application's approximation space in full: enumerates the knob
-grid, measures every variant on the real kernel, prints the scatter, the
-pareto selection, and the gprof-style profiler's view of where the work
-lives.
+Layer 1 (paper Section 3): enumerate one application's approximation
+knobs, profile where the work lives, and build its runtime ladder.
+
+Layer 2 (the part that scales): treat the *colocation* design space —
+load level x slack threshold x decision interval x seed — as a search
+problem.  Instead of exhaustively sweeping all points, a budgeted
+Pareto-guided strategy spends a fraction of the evaluations walking the
+QoS/reclamation frontier: ``run_experiment(spec, strategy="pareto",
+budget=N)``.
 
 Usage:  python examples/design_space_exploration.py [app_name]
 """
@@ -11,16 +16,15 @@ Usage:  python examples/design_space_exploration.py [app_name]
 import sys
 
 from repro.apps import make_app
-from repro.exploration import DesignSpaceExplorer, WorkProfiler
+from repro.experiment import ExperimentSpec, run_experiment
+from repro.search import WorkProfiler
 from repro.viz import format_table
 
 
-def main() -> None:
-    app_name = sys.argv[1] if len(sys.argv) > 1 else "bayesian"
+def explore_knobs(app_name: str) -> None:
     app = make_app(app_name)
-
     print(f"== {app_name} ({app.metadata.suite}) ==")
-    print(f"approximable sites (ACCEPT-style hints):")
+    print("approximable sites (ACCEPT-style hints):")
     for name, knob in app.knobs().items():
         print(f"  {name}: precise={knob.precise_value!r} candidates={knob.candidates!r}")
 
@@ -29,43 +33,69 @@ def main() -> None:
         bar = "#" * int(40 * site.work_share)
         print(f"  {site.knob_name:22s} {100 * site.work_share:5.1f}% |{bar}")
 
-    print("\n== measuring every variant (this runs the real kernel) ==")
-    explorer = DesignSpaceExplorer(app, seed=0)
-    result = explorer.explore()
-    rows = [
-        [
-            "*" if variant in result.selected else "",
-            f"{variant.inaccuracy_pct:.2f}",
-            f"{variant.time_factor:.2f}",
-            f"{variant.traffic_rate_factor:.2f}",
-            f"{variant.footprint_factor:.2f}",
-            ", ".join(f"{k}={v}" for k, v in variant.spec.items()),
-        ]
-        for variant in sorted(result.all_variants, key=lambda v: v.inaccuracy_pct)
-    ]
+
+def search_colocation_space(app_name: str) -> None:
+    spec = ExperimentSpec(
+        name="colocation-search",
+        description="budgeted Pareto walk over the colocation design space",
+        base={
+            "service": "memcached",
+            "apps": app_name,
+            "horizon": 20.0,
+            "monitor_epoch": 0.5,
+        },
+        axes={
+            "load_fraction": [0.5, 0.6, 0.7, 0.8],
+            "slack_threshold": [0.02, 0.05, 0.08, 0.12],
+            "decision_interval": [0.5, 1.0],
+            "seed": [0, 1],
+        },
+    )
+    budget = 24
+    print(f"\n== searching a {len(spec)}-point colocation space, budget {budget} ==")
+    result = run_experiment(spec, strategy="pareto", budget=budget, rng_seed=0)
+
+    print(
+        f"evaluated {result.evaluations}/{result.space_size} points "
+        f"({100 * result.fraction_evaluated:.0f}%) in {len(result.rounds)} "
+        f"rounds ({result.cache_hits} from cache)"
+    )
+    for record in result.rounds:
+        print(
+            f"  round {record.round}: {record.evaluated} evaluated, "
+            f"best so far {record.best_label or '-'}"
+        )
+
+    print("\n== the QoS / reclamation frontier ==")
+    rows = []
+    for outcome in result.frontier():
+        values = [obj.value(outcome.result) for obj in result.objectives]
+        rows.append(
+            [outcome.scenario.label()]
+            + [f"{v:.3f}" if v is not None else "-" for v in values]
+        )
     print(
         format_table(
-            ["sel", "inacc %", "time x", "contention x", "footprint x", "knobs"],
-            rows,
+            ["scenario"] + [obj.spec for obj in result.objectives], rows
         )
     )
+
+    best = result.best()
     print(
-        f"\n{len(result.all_variants)} variants examined, "
-        f"{len(result.selected)} selected near the pareto frontier "
-        f"(<= 5% inaccuracy)."
+        f"\nbest point: {best.scenario.label()} "
+        f"({result.objectives[0].spec} = {result.best_value():.3f})"
     )
-    print("\n== the runtime ladder ==")
-    for level in range(result.ladder.max_level + 1):
-        v = result.ladder.variant(level)
-        print(
-            f"  level {level}: inaccuracy {v.inaccuracy_pct:4.1f}%  "
-            f"time {v.time_factor:.2f}x  contention {v.traffic_rate_factor:.2f}x"
-        )
     print(
-        "\nMeasurements are cached content-addressed (app, seed, knob grid,"
-        "\nquality threshold); corrupted entries are dropped and remeasured."
-        "\nRe-run this example to see the cache hit."
+        "\nEvery evaluated point is in the content-addressed sweep cache:"
+        "\nkill and re-run this search (same seed) and it replays the same"
+        "\nproposal sequence, hitting the cache instead of re-simulating."
     )
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "bayesian"
+    explore_knobs(app_name)
+    search_colocation_space(app_name)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,11 @@ it.  Checks:
   are exempt (a lone worker physically cannot beat serial plus
   collection overhead), as are sub-64 grids (too small to amortize
   fleet startup).
+* the adaptive gate: any ``adaptive_vs_exhaustive`` run on a grid of
+  >= 256 points must show ``evaluations_fraction <= 0.25`` and
+  ``best_gap_pct <= 5.0`` — budgeted search only exists because it
+  finds (nearly) the same optimum for a quarter of the work, and the
+  trajectory is where that claim is held to account.
 
 Exit code 0 on success, 1 with a diagnostic otherwise.  An absent file
 is an error only with ``--require`` (fresh clones have no measurements
@@ -62,6 +67,45 @@ def _check_distributed_gate(run: dict, where: str) -> list[str]:
     return []
 
 
+#: The adaptive gate binds on spaces big enough that exhaustive sweeping
+#: is the thing being beaten.
+ADAPTIVE_GATE_GRID = 256
+ADAPTIVE_GATE_FRACTION = 0.25
+ADAPTIVE_GATE_GAP_PCT = 5.0
+
+
+def _check_adaptive_gate(run: dict, where: str) -> list[str]:
+    if run.get("label") != "adaptive_vs_exhaustive":
+        return []
+    grid = run.get("grid_size")
+    if not isinstance(grid, int) or grid < ADAPTIVE_GATE_GRID:
+        return []
+    problems = []
+    fraction = run.get("evaluations_fraction")
+    if not isinstance(fraction, (int, float)):
+        problems.append(
+            f"{where}: adaptive_vs_exhaustive run missing evaluations_fraction"
+        )
+    elif fraction > ADAPTIVE_GATE_FRACTION:
+        problems.append(
+            f"{where}: evaluations_fraction {fraction} > "
+            f"{ADAPTIVE_GATE_FRACTION} on a {grid}-point space — the search "
+            "spent more than a quarter of the exhaustive sweep"
+        )
+    gap = run.get("best_gap_pct")
+    if not isinstance(gap, (int, float)):
+        problems.append(
+            f"{where}: adaptive_vs_exhaustive run missing best_gap_pct"
+        )
+    elif gap > ADAPTIVE_GATE_GAP_PCT:
+        problems.append(
+            f"{where}: best_gap_pct {gap} > {ADAPTIVE_GATE_GAP_PCT} — the "
+            "search's best point fell more than 5% short of the exhaustive "
+            "optimum"
+        )
+    return problems
+
+
 def check(path: Path) -> list[str]:
     """All problems found in one trajectory file (empty = healthy)."""
     try:
@@ -95,6 +139,7 @@ def check(path: Path) -> list[str]:
                 f"{where}: cpu_count must be a positive integer, got {cpus!r}"
             )
         problems.extend(_check_distributed_gate(run, where))
+        problems.extend(_check_adaptive_gate(run, where))
         stamp = run.get("timestamp")
         try:
             parsed = time.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")

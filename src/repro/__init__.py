@@ -11,9 +11,13 @@ Public API tour
 ``repro.apps``         -- 24 approximable application kernels
 ``repro.services``     -- NGINX / memcached / MongoDB models
 ``repro.server``       -- shared-server platform + interference model
-``repro.exploration``  -- design-space exploration (paper Section 3)
+``repro.search``       -- budgeted design-space search: scenario
+                          strategies (grid/random/halving/pareto) plus
+                          the paper's Section 3 variant exploration
+                          (``repro.exploration`` is a deprecated front)
 ``repro.core``         -- the Pliant runtime (monitor, actuator, controller)
 ``repro.cluster``      -- colocation experiment harness and sweeps
+``repro.experiment``   -- declarative specs, run_experiment, ResultSet
 """
 
 __version__ = "1.0.0"

@@ -12,8 +12,8 @@ from functools import lru_cache
 from repro.apps import make_app
 from repro.core.policy import PliantPolicy, RuntimePolicy
 from repro.core.runtime import ColocationConfig, ColocationEngine, ColocationResult
-from repro.exploration import DesignSpaceExplorer
-from repro.exploration.pareto import ApproxLadder
+from repro.search.ladder import ApproxLadder
+from repro.search.variants import DesignSpaceExplorer
 from repro.server.platform import Platform, default_platform, make_platform
 from repro.services import make_service
 from repro.services.loadgen import LoadGenerator, loadgen_from_spec

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.exploration.pareto import ApproxLadder
+from repro.search.ladder import ApproxLadder
 from repro.server.node import ServerNode
 from repro.server.platform import Platform, default_platform
 from repro.server.resources import ResourceProfile

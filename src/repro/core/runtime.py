@@ -39,7 +39,7 @@ from repro.dynrio.binary import FatBinary
 from repro.dynrio.instrument import Instrumentor
 from repro.dynrio.overhead import OverheadModel
 from repro.dynrio.signals import SignalBus
-from repro.exploration.pareto import ApproxLadder
+from repro.search.ladder import ApproxLadder
 from repro.rng import child_generator
 from repro.server.node import ServerNode
 from repro.server.platform import Platform, default_platform

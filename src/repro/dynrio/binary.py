@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.apps.base import ApproximableApp
-from repro.exploration.pareto import ApproxLadder
+from repro.search.ladder import ApproxLadder
 
 
 @dataclass(frozen=True)

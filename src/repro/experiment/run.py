@@ -58,12 +58,46 @@ def run_experiment(
     cache: SweepCache | None = None,
     workers: int | None = None,
     force: bool = False,
+    strategy=None,
+    budget: int | None = None,
+    objective=None,
+    rng_seed: int | None = None,
 ) -> ResultSet:
     """Run an experiment spec (or grid, or raw scenarios) to a ResultSet.
 
     ``force`` bypasses cache *reads* (results are still written back) —
     the guaranteed-cold pass benchmarks measure.
+
+    ``strategy`` / ``budget`` / ``objective`` / ``rng_seed`` switch from
+    exhaustive expansion to a budgeted search over the spec's axes (see
+    :mod:`repro.search`): points are proposed in rounds instead of
+    materialized, and the returned
+    :class:`~repro.search.result.SearchResult` adds trajectory /
+    best-point / frontier accessors on top of the ResultSet surface.
+    Passing any of them — or a spec whose own search fields say so —
+    takes this path; ``strategy="grid"`` is the exhaustive reference,
+    bit-identical to the plain path.
     """
+    wants_search = any(
+        value is not None for value in (strategy, budget, objective, rng_seed)
+    ) or (isinstance(spec, ExperimentSpec) and spec.search_requested)
+    if wants_search:
+        # Deferred import: repro.search drives its rounds back through
+        # this module's engine resolution.
+        from repro.search.driver import run_search
+
+        return run_search(
+            spec,
+            strategy=strategy,
+            budget=budget,
+            objective=objective,
+            rng_seed=rng_seed,
+            engine=engine,
+            backend=backend,
+            cache=cache,
+            workers=workers,
+            force=force,
+        )
     resolved = resolve_engine(engine, backend, cache, workers)
     if isinstance(spec, ExperimentSpec):
         scenarios, attached = spec.scenarios(), spec

@@ -71,12 +71,24 @@ class ExperimentSpec:
         must appear in ``base`` or ``axes``.
     name / description:
         Free-form labels carried through serialization.
+    strategy / budget / objective / rng_seed:
+        How to *explore* the axes: a registered search strategy name
+        (``grid`` — the exhaustive default — ``random``, ``halving``,
+        ``pareto``, see :mod:`repro.search`), a hard ceiling on unique
+        evaluations, the ``[min:|max:]metric`` objective(s) ranking
+        points, and the seed every stochastic proposal derives from.
+        A spec with a non-grid strategy or a budget runs as a budgeted
+        search through ``run_experiment`` and the CLI alike.
     """
 
     axes: tuple[tuple[str, tuple], ...] = ()
     base: tuple[tuple[str, object], ...] = ()
     name: str = ""
     description: str = ""
+    strategy: str = "grid"
+    budget: int | None = None
+    objective: tuple[str, ...] = ()
+    rng_seed: int = 0
 
     def __post_init__(self) -> None:
         known = scenario_field_names()
@@ -133,6 +145,44 @@ class ExperimentSpec:
                 for k, values in axis_pairs
             ),
         )
+        self._validate_search()
+
+    def _validate_search(self) -> None:
+        """Shape-check the search fields (strategy names resolve at run time,
+        and objective *metrics* stay open via ``register_metric``)."""
+        if not isinstance(self.strategy, str) or not self.strategy:
+            raise ValueError(
+                f"strategy must be a registered strategy name, "
+                f"got {self.strategy!r}"
+            )
+        if self.budget is not None:
+            if isinstance(self.budget, bool) or not isinstance(self.budget, int):
+                raise ValueError(f"budget must be an int, got {self.budget!r}")
+            if self.budget < 1:
+                raise ValueError(f"budget must be >= 1, got {self.budget}")
+        objective = self.objective
+        if isinstance(objective, str):
+            objective = (objective,)
+        objective = tuple(objective)
+        for entry in objective:
+            if not isinstance(entry, str) or not entry:
+                raise ValueError(
+                    f"objective entries must be '[min:|max:]metric' strings, "
+                    f"got {entry!r}"
+                )
+            mode, sep, metric = entry.partition(":")
+            if sep and (mode not in ("min", "max") or not metric.strip()):
+                raise ValueError(
+                    f"objective {entry!r} must look like 'metric', "
+                    "'min:metric' or 'max:metric'"
+                )
+        object.__setattr__(self, "objective", objective)
+        object.__setattr__(self, "rng_seed", int(self.rng_seed))
+
+    @property
+    def search_requested(self) -> bool:
+        """True when running this spec means a budgeted search, not a grid."""
+        return self.strategy != "grid" or self.budget is not None
 
     # -- introspection ---------------------------------------------------
 
@@ -169,14 +219,25 @@ class ExperimentSpec:
 
     # -- builders --------------------------------------------------------
 
+    def _replace(self, **overrides) -> "ExperimentSpec":
+        fields = {
+            "axes": self.axes,
+            "base": self.base,
+            "name": self.name,
+            "description": self.description,
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "objective": self.objective,
+            "rng_seed": self.rng_seed,
+        }
+        fields.update(overrides)
+        return ExperimentSpec(**fields)
+
     def with_base(self, **fields) -> "ExperimentSpec":
         """A copy with ``fields`` merged into (and overriding) the base."""
         merged = dict(self.base)
         merged.update(fields)
-        return ExperimentSpec(
-            axes=self.axes, base=merged, name=self.name,
-            description=self.description,
-        )
+        return self._replace(base=merged)
 
     def with_axis(self, axis: str, values) -> "ExperimentSpec":
         """A copy with one axis appended (or replaced, keeping its slot)."""
@@ -189,8 +250,21 @@ class ExperimentSpec:
             axes.append((axis, tuple(values)))
         base = dict(self.base)
         base.pop(axis, None)  # the axis now owns this field
-        return ExperimentSpec(
-            axes=axes, base=base, name=self.name, description=self.description
+        return self._replace(axes=axes, base=base)
+
+    def with_search(
+        self,
+        strategy: str | None = None,
+        budget: int | None = None,
+        objective=None,
+        rng_seed: int | None = None,
+    ) -> "ExperimentSpec":
+        """A copy with the given search fields overridden (None = keep)."""
+        return self._replace(
+            strategy=self.strategy if strategy is None else strategy,
+            budget=self.budget if budget is None else budget,
+            objective=self.objective if objective is None else objective,
+            rng_seed=self.rng_seed if rng_seed is None else rng_seed,
         )
 
     @classmethod
@@ -228,19 +302,33 @@ class ExperimentSpec:
     # -- serialization ---------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "format": SPEC_FORMAT,
             "name": self.name,
             "description": self.description,
             "base": {k: _jsonify(v) for k, v in self.base},
             "axes": [[k, [_jsonify(v) for v in values]] for k, values in self.axes],
         }
+        # Search fields appear only when set, so pre-search spec files and
+        # their goldens are byte-stable.
+        if self.strategy != "grid":
+            payload["strategy"] = self.strategy
+        if self.budget is not None:
+            payload["budget"] = self.budget
+        if self.objective:
+            payload["objective"] = list(self.objective)
+        if self.rng_seed:
+            payload["rng_seed"] = self.rng_seed
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentSpec":
         if not isinstance(payload, dict):
             raise ValueError(f"spec payload must be an object, got {type(payload).__name__}")
-        allowed = {"format", "name", "description", "base", "axes"}
+        allowed = {
+            "format", "name", "description", "base", "axes",
+            "strategy", "budget", "objective", "rng_seed",
+        }
         unknown = set(payload) - allowed
         if unknown:
             raise ValueError(
@@ -258,6 +346,10 @@ class ExperimentSpec:
             base=payload.get("base", {}),
             name=payload.get("name", ""),
             description=payload.get("description", ""),
+            strategy=payload.get("strategy", "grid"),
+            budget=payload.get("budget"),
+            objective=tuple(payload.get("objective", ())),
+            rng_seed=payload.get("rng_seed", 0),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

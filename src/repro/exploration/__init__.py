@@ -1,17 +1,30 @@
-"""Design-space exploration (paper Section 3).
+"""Deprecated front over :mod:`repro.search` (paper Section 3).
 
-Enumerates each app's approximate variants from its knob grid (the
-ACCEPT-hints path) or from profiler-ranked sites (the gprof path), measures
-quality/time/contention for every variant against precise execution, prunes
-to the points near the pareto frontier within the tolerable inaccuracy, and
-produces the ordered :class:`~repro.exploration.pareto.ApproxLadder` the
-Pliant runtime climbs at runtime.
+Design-space exploration moved into the budgeted-search subsystem —
+variant enumeration/measurement is :mod:`repro.search.variants`, the
+frontier pruning and runtime ladder are :mod:`repro.search.ladder`, the
+work profiler is :mod:`repro.search.profiler`, and the scenario-space
+strategies that grew out of them live beside all three.  This package
+re-exports the old names so existing imports keep working; new code
+should import from :mod:`repro.search`.
 """
 
-from repro.exploration.explorer import DesignSpaceExplorer, ExplorationResult
-from repro.exploration.pareto import ApproxLadder, pareto_select
-from repro.exploration.profiler import WorkProfiler
-from repro.exploration.space import enumerate_variants
+import warnings
+
+from repro.search.ladder import ApproxLadder, pareto_select
+from repro.search.profiler import WorkProfiler
+from repro.search.variants import (
+    DesignSpaceExplorer,
+    ExplorationResult,
+    enumerate_variants,
+)
+
+warnings.warn(
+    "repro.exploration is deprecated; import from repro.search instead "
+    "(variants/ladder/profiler moved into the budgeted-search subsystem)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = [
     "ApproxLadder",

@@ -1,157 +1,16 @@
-"""DesignSpaceExplorer: run, measure, prune, cache.
+"""Deprecated front: moved to :mod:`repro.search.variants`."""
 
-Exploration "only needs to happen once, unless the application design
-changes" (Section 4.1), so results are cached on disk keyed by the app
-name, seed, knob grid and quality threshold.  Benchmarks therefore pay the
-kernel-execution cost once per machine.
-"""
+from repro.search.variants import (  # noqa: F401
+    _CACHE_ENV,
+    DesignSpaceExplorer,
+    ExplorationResult,
+    _load_variants,
+    _store_variants,
+    default_cache_dir,
+)
 
-from __future__ import annotations
-
-import json
-import os
-from dataclasses import dataclass
-from pathlib import Path
-
-from repro.apps.base import ApproximableApp, MeasuredVariant, VariantSpec
-from repro.exploration.pareto import ApproxLadder, pareto_select
-from repro.exploration.profiler import WorkProfiler
-from repro.exploration.space import enumerate_variants
-from repro.cas import atomic_write_bytes, stable_hash
-
-_CACHE_ENV = "REPRO_EXPLORATION_CACHE"
-
-
-def default_cache_dir() -> Path:
-    env = os.environ.get(_CACHE_ENV)
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro-pliant" / "exploration"
-
-
-@dataclass
-class ExplorationResult:
-    """Everything Section 3 produces for one app."""
-
-    app_name: str
-    all_variants: list[MeasuredVariant]
-    selected: list[MeasuredVariant]
-    ladder: ApproxLadder
-
-    @property
-    def selected_count(self) -> int:
-        return len(self.selected)
-
-
-class DesignSpaceExplorer:
-    """Explores one app's approximation design space.
-
-    ``use_profiler_hints`` restricts the grid to the profiler's hottest
-    sites (the paper's gprof path for apps without ACCEPT support);
-    otherwise the app's full declared knob set is used (the ACCEPT path).
-    """
-
-    def __init__(
-        self,
-        app: ApproximableApp,
-        seed: int = 0,
-        max_inaccuracy_pct: float = 5.0,
-        use_profiler_hints: bool = False,
-        cache_dir: Path | None = None,
-    ) -> None:
-        self._app = app
-        self._seed = seed
-        self._max_inaccuracy = max_inaccuracy_pct
-        self._use_profiler = use_profiler_hints
-        self._cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
-
-    # -- cache keys -----------------------------------------------------------
-
-    def _grid_fingerprint(self) -> str:
-        knobs = self._app.knobs()
-        return stable_hash(
-            {
-                name: [repr(v) for v in knob.all_values()]
-                for name, knob in sorted(knobs.items())
-            },
-            length=16,
-        )
-
-    def _cache_path(self) -> Path:
-        key = (
-            f"{self._app.name}-s{self._seed}-q{self._max_inaccuracy}"
-            f"-p{int(self._use_profiler)}-{self._grid_fingerprint()}"
-        )
-        return self._cache_dir / f"{key}.json"
-
-    # -- exploration ------------------------------------------------------------
-
-    def explore(self, force: bool = False) -> ExplorationResult:
-        """Measure every variant (cached) and select the ladder.
-
-        Corrupted cache entries (truncated writes, foreign payloads) are
-        deleted and remeasured instead of crashing the run.
-        """
-        path = self._cache_path()
-        variants = None
-        if not force and path.exists():
-            variants = _load_variants(path, self._app.name)
-        if variants is None:
-            variants = self._measure_all()
-            _store_variants(path, variants)
-        selected = pareto_select(variants, self._max_inaccuracy)
-        ladder = ApproxLadder.from_selection(self._app.precise_variant(), selected)
-        return ExplorationResult(
-            app_name=self._app.name,
-            all_variants=variants,
-            selected=selected,
-            ladder=ladder,
-        )
-
-    def _measure_all(self) -> list[MeasuredVariant]:
-        if self._use_profiler:
-            knobs = WorkProfiler(self._app, seed=self._seed).hot_sites()
-        else:
-            knobs = self._app.knobs()
-        specs = enumerate_variants(self._app, knobs=knobs)
-        return [self._app.measure(spec, seed=self._seed) for spec in specs]
-
-
-# -- (de)serialization -----------------------------------------------------
-
-
-def _store_variants(path: Path, variants: list[MeasuredVariant]) -> None:
-    payload = [
-        {
-            "settings": dict(v.spec),
-            "inaccuracy_pct": v.inaccuracy_pct,
-            "time_factor": v.time_factor,
-            "traffic_rate_factor": v.traffic_rate_factor,
-            "footprint_factor": v.footprint_factor,
-        }
-        for v in variants
-    ]
-    atomic_write_bytes(path, json.dumps(payload, indent=1).encode("utf-8"))
-
-
-def _load_variants(path: Path, app_name: str) -> list[MeasuredVariant] | None:
-    """Parse a cache entry; on any corruption, delete it and return None."""
-    try:
-        payload = json.loads(path.read_text())
-        return [
-            MeasuredVariant(
-                app_name=app_name,
-                spec=VariantSpec(entry["settings"]),
-                inaccuracy_pct=entry["inaccuracy_pct"],
-                time_factor=entry["time_factor"],
-                traffic_rate_factor=entry["traffic_rate_factor"],
-                footprint_factor=entry["footprint_factor"],
-            )
-            for entry in payload
-        ]
-    except (OSError, ValueError, KeyError, TypeError, AttributeError):
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
+__all__ = [
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "default_cache_dir",
+]

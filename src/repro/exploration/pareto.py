@@ -1,144 +1,16 @@
-"""Pareto-frontier pruning and the approximation ladder.
+"""Deprecated front: moved to :mod:`repro.search.ladder`."""
 
-The paper keeps the approximate variants "close to the pareto-optimal
-frontier" of (inaccuracy, execution time), discards anything beyond the
-tolerable quality loss (5 % by default), and orders what remains so the
-runtime can step between adjacent approximation degrees.
-"""
+from repro.search.ladder import (  # noqa: F401
+    FRONTIER_TOLERANCE,
+    MAX_SELECTED,
+    ApproxLadder,
+    _frontier,
+    pareto_select,
+)
 
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-
-from repro.apps.base import MeasuredVariant
-
-#: A variant is "close to" the frontier if its time factor is within this
-#: tolerance of the best time achievable at no greater inaccuracy.
-FRONTIER_TOLERANCE = 0.03
-
-#: The paper's richest apps expose eight selected variants (bayesian, PLSA).
-MAX_SELECTED = 8
-
-
-def _frontier(
-    variants: list[MeasuredVariant],
-    objective,
-    tolerance: float,
-) -> list[MeasuredVariant]:
-    """Variants on the pareto frontier of (inaccuracy, objective).
-
-    A point earns a slot only by strictly improving the objective beyond
-    ``tolerance`` over everything at lower-or-equal inaccuracy — "close to
-    the frontier" points that add no distinct operating regime would only
-    pad the runtime's ladder with redundant levels.
-    """
-    ordered = sorted(variants, key=lambda v: (v.inaccuracy_pct, objective(v)))
-    kept: list[MeasuredVariant] = []
-    best = float("inf")
-    for variant in ordered:
-        value = objective(variant)
-        if value < best - tolerance:
-            kept.append(variant)
-            best = value
-    return kept
-
-
-def pareto_select(
-    variants: list[MeasuredVariant],
-    max_inaccuracy_pct: float = 5.0,
-    tolerance: float = FRONTIER_TOLERANCE,
-    max_selected: int = MAX_SELECTED,
-) -> list[MeasuredVariant]:
-    """Select the admissible variants close to the pareto frontier.
-
-    Two frontiers contribute: (inaccuracy, execution time) — the paper's
-    scatter axes — and (inaccuracy, contention rate), because a variant that
-    sheds shared-resource traffic at equal speed is exactly what the Pliant
-    runtime climbs toward (SNP's synchronization-elision variants live on
-    this second frontier).  Ties on (inaccuracy, time) keep the variant
-    with the lower contention rate.
-
-    Returns the selection ordered by increasing inaccuracy (the order the
-    paper's Fig. 1 scatter plots use).  The precise point is not included —
-    it is the ladder's level 0 and always available.
-    """
-    admissible = [
-        v
-        for v in variants
-        if v.inaccuracy_pct <= max_inaccuracy_pct and not v.is_precise
-    ]
-    if not admissible:
-        return []
-    # Dedupe equal (inaccuracy, time) points, preferring lower contention.
-    by_point: dict[tuple[float, float], MeasuredVariant] = {}
-    for variant in admissible:
-        key = (round(variant.inaccuracy_pct, 3), round(variant.time_factor, 3))
-        incumbent = by_point.get(key)
-        if (
-            incumbent is None
-            or variant.traffic_rate_factor < incumbent.traffic_rate_factor
-        ):
-            by_point[key] = variant
-    candidates = list(by_point.values())
-
-    time_front = _frontier(candidates, lambda v: v.time_factor, tolerance)
-    contention_front = _frontier(
-        candidates, lambda v: v.traffic_rate_factor, tolerance
-    )
-    union: dict[tuple[float, float, float], MeasuredVariant] = {}
-    for variant in (*time_front, *contention_front):
-        key = (
-            round(variant.inaccuracy_pct, 3),
-            round(variant.time_factor, 3),
-            round(variant.traffic_rate_factor, 3),
-        )
-        union.setdefault(key, variant)
-    selected = sorted(
-        union.values(), key=lambda v: (v.inaccuracy_pct, v.time_factor)
-    )
-    if len(selected) > max_selected:
-        # Keep the endpoints and evenly spaced interior points.
-        stride = (len(selected) - 1) / (max_selected - 1)
-        keep = sorted({int(round(i * stride)) for i in range(max_selected)})
-        selected = [selected[i] for i in keep]
-    return selected
-
-
-@dataclass
-class ApproxLadder:
-    """Ordered approximation degrees for one app.
-
-    Level 0 is precise execution; level ``max_level`` the most approximate
-    selected variant.  The Pliant actuator moves between adjacent levels (or
-    jumps straight to the top on a QoS violation).
-    """
-
-    app_name: str
-    levels: list[MeasuredVariant] = field(default_factory=list)
-
-    def __post_init__(self) -> None:
-        if not self.levels:
-            raise ValueError("ladder requires at least the precise level")
-        if not self.levels[0].is_precise:
-            raise ValueError("ladder level 0 must be the precise variant")
-
-    @property
-    def max_level(self) -> int:
-        return len(self.levels) - 1
-
-    @property
-    def approximate_count(self) -> int:
-        """Number of approximate (non-precise) degrees."""
-        return self.max_level
-
-    def variant(self, level: int) -> MeasuredVariant:
-        if not 0 <= level <= self.max_level:
-            raise IndexError(f"level {level} outside [0, {self.max_level}]")
-        return self.levels[level]
-
-    @classmethod
-    def from_selection(
-        cls, precise: MeasuredVariant, selected: list[MeasuredVariant]
-    ) -> "ApproxLadder":
-        ordered = sorted(selected, key=lambda v: v.inaccuracy_pct)
-        return cls(app_name=precise.app_name, levels=[precise, *ordered])
+__all__ = [
+    "FRONTIER_TOLERANCE",
+    "MAX_SELECTED",
+    "ApproxLadder",
+    "pareto_select",
+]

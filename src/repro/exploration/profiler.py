@@ -1,69 +1,9 @@
-"""gprof-style work profiler.
+"""Deprecated front: moved to :mod:`repro.search.profiler`."""
 
-For apps without ACCEPT hints, the paper profiles the application and
-perforates the 2-4 functions that dominate execution time.  The analog
-here: measure how much of the app's total work each knob's site accounts
-for, by running each knob alone at its most aggressive setting and
-attributing the work delta to that site.  Sites are then ranked and the top
-``max_sites`` retained.
-"""
+from repro.search.profiler import (  # noqa: F401
+    SiteProfile,
+    WorkProfiler,
+    _perforation_depth,
+)
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-
-from repro.apps.base import ApproximableApp, VariantSpec
-from repro.apps.knobs import Knob
-
-
-@dataclass(frozen=True)
-class SiteProfile:
-    """Work attribution for one approximable site."""
-
-    knob_name: str
-    work_share: float  # fraction of total work attributable to the site
-
-    def __post_init__(self) -> None:
-        if not 0.0 <= self.work_share <= 1.0 + 1e-9:
-            raise ValueError(f"work_share out of range: {self.work_share}")
-
-
-class WorkProfiler:
-    """Ranks an app's approximable sites by measured work contribution."""
-
-    def __init__(self, app: ApproximableApp, seed: int = 0) -> None:
-        self._app = app
-        self._seed = seed
-
-    def profile(self) -> list[SiteProfile]:
-        """Per-knob work attribution, sorted hottest first."""
-        precise = self._app.precise_run(seed=self._seed)
-        total_work = precise.counters.work
-        profiles = []
-        for name, knob in self._app.knobs().items():
-            aggressive = VariantSpec({name: knob.candidates[-1]})
-            run = self._app.run(aggressive, seed=self._seed)
-            saved = max(0.0, total_work - run.counters.work)
-            # The work a site can shed bounds its share from below; scale by
-            # the perforation depth so a 50%-keep knob doesn't half-count.
-            depth = _perforation_depth(knob)
-            share = min(1.0, saved / total_work / depth) if depth > 0 else 0.0
-            profiles.append(SiteProfile(knob_name=name, work_share=share))
-        profiles.sort(key=lambda p: p.work_share, reverse=True)
-        return profiles
-
-    def hot_sites(self, max_sites: int = 4) -> dict[str, Knob]:
-        """The hottest ``max_sites`` knobs (the paper's 2-4 functions)."""
-        knobs = self._app.knobs()
-        ranked = self.profile()
-        return {p.knob_name: knobs[p.knob_name] for p in ranked[:max_sites]}
-
-
-def _perforation_depth(knob: Knob) -> float:
-    """Fraction of the site's work removed at the most aggressive setting."""
-    value = knob.candidates[-1]
-    if isinstance(value, bool):
-        return 0.5  # elision removes the synchronization half of the site
-    if isinstance(value, (int, float)):
-        return max(1e-6, 1.0 - float(value))
-    return 0.5  # precision knobs shed roughly half the traffic, some work
+__all__ = ["SiteProfile", "WorkProfiler"]

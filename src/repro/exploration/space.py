@@ -1,48 +1,5 @@
-"""Variant enumeration.
+"""Deprecated front: moved to :mod:`repro.search.variants`."""
 
-The paper prunes an intractable design space in two ways: ACCEPT-style
-programmer hints list a handful of approximable sites per app, and for apps
-without hints a profiler selects the 2-4 hottest functions.  In this
-reproduction every app declares its sites as knobs; enumeration takes the
-cartesian product over each knob's precise+candidate values, optionally
-capped to keep run counts sane.
-"""
+from repro.search.variants import MAX_VARIANTS, enumerate_variants  # noqa: F401
 
-from __future__ import annotations
-
-import itertools
-
-from repro.apps.base import ApproximableApp, VariantSpec
-from repro.apps.knobs import Knob
-
-#: Upper bound on enumerated variants per app; grids beyond this are
-#: subsampled deterministically (every k-th combination).
-MAX_VARIANTS = 96
-
-
-def enumerate_variants(
-    app: ApproximableApp,
-    knobs: dict[str, Knob] | None = None,
-    max_variants: int = MAX_VARIANTS,
-) -> list[VariantSpec]:
-    """All non-precise knob combinations for ``app``, precise-values allowed
-    per knob so single-knob and mixed variants both appear."""
-    knobs = knobs if knobs is not None else app.knobs()
-    if not knobs:
-        return []
-    names = sorted(knobs)
-    value_lists = [knobs[name].all_values() for name in names]
-    specs: list[VariantSpec] = []
-    for combo in itertools.product(*value_lists):
-        settings = {
-            name: value
-            for name, value in zip(names, combo)
-            if value != knobs[name].precise_value
-        }
-        if not settings:
-            continue  # the all-precise point is handled separately
-        specs.append(VariantSpec(settings))
-    if len(specs) > max_variants:
-        stride = len(specs) / max_variants
-        specs = [specs[int(i * stride)] for i in range(max_variants)]
-    return specs
+__all__ = ["MAX_VARIANTS", "enumerate_variants"]

@@ -1,0 +1,62 @@
+"""Generic Pareto-dominance machinery.
+
+Shared by both search layers: scenario search uses
+:func:`pareto_indices` to maintain the QoS/utilization front it samples
+around, and the per-app variant selection
+(:func:`repro.search.ladder.pareto_select`) uses
+:func:`tolerance_frontier` for the paper's "close to the pareto-optimal
+frontier" pruning.  Score vectors are **higher-is-better** throughout —
+:class:`~repro.search.objective.Objective` already folds min/max
+direction into the sign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is at least as good everywhere and better somewhere."""
+    if len(a) != len(b):
+        raise ValueError(f"score vectors differ in length: {len(a)} vs {len(b)}")
+    return all(x >= y for x, y in zip(a, b)) and any(x > y for x, y in zip(a, b))
+
+
+def pareto_indices(rows: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated rows, in their original order.
+
+    Duplicated score vectors all survive (none dominates its equal), so
+    ties on the front are preserved rather than arbitrarily broken.
+    """
+    kept = []
+    for i, row in enumerate(rows):
+        if not any(dominates(other, row) for j, other in enumerate(rows) if j != i):
+            kept.append(i)
+    return kept
+
+
+def tolerance_frontier(
+    items: Sequence[T],
+    key: Callable[[T], float],
+    value: Callable[[T], float],
+    tolerance: float,
+) -> list[T]:
+    """Items on the (key, value) frontier, minimizing ``value`` as ``key`` grows.
+
+    Walking items in increasing ``key`` order, an item earns a slot only
+    by strictly improving ``value`` beyond ``tolerance`` over everything
+    at lower-or-equal ``key`` — "close to the frontier" points that add
+    no distinct operating regime are dropped.  This is the paper's
+    Section 3 pruning rule, generalized to any pair of axes.
+    """
+    ordered = sorted(items, key=lambda item: (key(item), value(item)))
+    kept: list[T] = []
+    best = float("inf")
+    for item in ordered:
+        current = value(item)
+        if current < best - tolerance:
+            kept.append(item)
+            best = current
+    return kept

@@ -1,0 +1,98 @@
+"""Search objectives: named metrics plus an optimization direction.
+
+An objective is ``"metric"`` / ``"max:metric"`` / ``"min:metric"`` where
+the metric is any name in the :data:`repro.experiment.resultset.METRICS`
+registry (open via ``register_metric``).  :meth:`Objective.score` folds
+the direction into the sign, so every strategy and frontier computation
+can treat scores as higher-is-better; missing or NaN metric values score
+``-inf`` (worst), never crash a search round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.experiment.resultset import resolve_metric
+
+#: What a search optimizes when the caller doesn't say: the fraction of
+#: decision intervals where the interactive service met its QoS.
+DEFAULT_OBJECTIVE = "max:qos_met_fraction"
+
+_MODES = ("max", "min")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One scalar optimization target over a colocation result."""
+
+    metric: str
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"objective mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if not isinstance(self.metric, str) or not self.metric:
+            raise ValueError(f"objective metric must be a name, got {self.metric!r}")
+
+    @property
+    def spec(self) -> str:
+        """The ``mode:metric`` string this objective round-trips through."""
+        return f"{self.mode}:{self.metric}"
+
+    def value(self, result) -> float | None:
+        """The raw metric value, or None when it is absent/non-numeric."""
+        raw = resolve_metric(self.metric)(result)
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            return None
+        return value
+
+    def score(self, result) -> float:
+        """Sign-adjusted value: higher is always better, worst is -inf."""
+        value = self.value(result)
+        if value is None or math.isnan(value):
+            return float("-inf")
+        return value if self.mode == "max" else -value
+
+
+ObjectiveLike = Union[str, Objective]
+
+
+def parse_objective(spec: ObjectiveLike) -> Objective:
+    """``"metric"`` / ``"mode:metric"`` / an Objective -> an Objective."""
+    if isinstance(spec, Objective):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"objective must be a 'mode:metric' string or Objective, got {spec!r}"
+        )
+    mode, sep, metric = spec.partition(":")
+    if not sep:
+        return Objective(metric=spec.strip(), mode="max")
+    return Objective(metric=metric.strip(), mode=mode.strip())
+
+
+def resolve_objectives(
+    spec: Union[ObjectiveLike, Iterable[ObjectiveLike], None],
+    default: Union[str, tuple[str, ...]] = DEFAULT_OBJECTIVE,
+) -> tuple[Objective, ...]:
+    """Normalize any objective spec to a non-empty Objective tuple.
+
+    The first objective is *primary* — it ranks candidates and defines
+    ``best()``; the rest only widen Pareto frontiers.
+    """
+    if spec is None or spec == () or spec == []:
+        spec = default
+    if isinstance(spec, (str, Objective)):
+        spec = (spec,)
+    objectives = tuple(parse_objective(entry) for entry in spec)
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    return objectives

@@ -1,0 +1,169 @@
+"""Search results: a ResultSet plus the search's own story.
+
+:class:`SearchResult` subclasses
+:class:`~repro.experiment.resultset.ResultSet` — every query/export/
+``identical()`` surface works unchanged — and adds what a budgeted
+search knows that an exhaustive sweep doesn't: the per-round
+trajectory, the best evaluated grid point, and the Pareto frontier of
+the evaluated set.  Off-grid probes (e.g. halving's reduced-fidelity
+rungs) are included in the outcome list (they were paid for and are
+cached) but never win ``best()`` or enter ``frontier()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiment.resultset import ResultSet
+from repro.search.frontier import pareto_indices
+from repro.search.objective import Objective, resolve_objectives
+from repro.search.space import DesignSpace
+from repro.sweep.engine import SweepOutcome
+from repro.sweep.grid import Scenario
+
+
+class SearchHistory:
+    """Every evaluated point of a search, in evaluation order."""
+
+    def __init__(self) -> None:
+        self._by_scenario: dict[Scenario, SweepOutcome] = {}
+        self._order: list[SweepOutcome] = []
+
+    def record(self, outcome: SweepOutcome) -> None:
+        if outcome.scenario not in self._by_scenario:
+            self._by_scenario[outcome.scenario] = outcome
+            self._order.append(outcome)
+
+    def get(self, scenario: Scenario) -> SweepOutcome | None:
+        return self._by_scenario.get(scenario)
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        return scenario in self._by_scenario
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return iter(self._order)
+
+    @property
+    def outcomes(self) -> list[SweepOutcome]:
+        return list(self._order)
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One propose/evaluate/observe round of a search."""
+
+    round: int
+    proposed: int
+    evaluated: int
+    cache_hits: int
+    best_score: float
+    best_label: str = ""
+
+
+class SearchResult(ResultSet):
+    """Evaluation-ordered outcomes plus trajectory/best/frontier accessors."""
+
+    def __init__(
+        self,
+        outcomes: Sequence[SweepOutcome],
+        spec=None,
+        *,
+        strategy: str = "",
+        budget: int | None = None,
+        objectives: tuple[Objective, ...] = (),
+        rounds: Sequence[RoundRecord] = (),
+        space: DesignSpace | None = None,
+    ) -> None:
+        super().__init__(outcomes, spec=spec)
+        self.strategy = strategy
+        self.budget = budget
+        self.objectives = tuple(objectives)
+        self.rounds = list(rounds)
+        self._space = space if space is not None else (
+            DesignSpace(spec) if spec is not None else None
+        )
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def evaluations(self) -> int:
+        """Unique points evaluated (cache hits included — they were proposed)."""
+        return len(self)
+
+    @property
+    def space_size(self) -> int | None:
+        return len(self._space) if self._space is not None else None
+
+    @property
+    def fraction_evaluated(self) -> float | None:
+        size = self.space_size
+        return len(self) / size if size else None
+
+    def grid_outcomes(self) -> list[SweepOutcome]:
+        """Outcomes that are actual grid points (off-grid probes dropped)."""
+        if self._space is None:
+            return self.outcomes
+        return [o for o in self if self._space.contains(o.scenario)]
+
+    # -- winners ---------------------------------------------------------
+
+    def _resolved(self, objective) -> tuple[Objective, ...]:
+        if objective is not None:
+            return resolve_objectives(objective)
+        return self.objectives or resolve_objectives(None)
+
+    def best(self, objective=None) -> SweepOutcome:
+        """The best grid-point outcome under the primary objective.
+
+        Ties keep the earliest-evaluated point, so reruns of the same
+        deterministic search return the same winner.
+        """
+        primary = self._resolved(objective)[0]
+        candidates = self.grid_outcomes()
+        if not candidates:
+            raise LookupError("search evaluated no grid points")
+        winner, winner_score = candidates[0], primary.score(candidates[0].result)
+        for outcome in candidates[1:]:
+            score = primary.score(outcome.result)
+            if score > winner_score:
+                winner, winner_score = outcome, score
+        return winner
+
+    @property
+    def best_scenario(self) -> Scenario:
+        return self.best().scenario
+
+    @property
+    def best_result(self):
+        return self.best().result
+
+    def best_value(self, objective=None) -> float | None:
+        """The raw (unsigned) primary-objective value of the best point."""
+        return self._resolved(objective)[0].value(self.best(objective).result)
+
+    def frontier(self, objective=None) -> list[SweepOutcome]:
+        """Non-dominated grid outcomes under the objectives, stable order."""
+        objectives = self._resolved(objective)
+        candidates = self.grid_outcomes()
+        rows = [
+            tuple(obj.score(outcome.result) for obj in objectives)
+            for outcome in candidates
+        ]
+        return [candidates[i] for i in pareto_indices(rows)]
+
+    def trajectory(self) -> list[float]:
+        """Best-so-far primary score after each round."""
+        return [record.best_score for record in self.rounds]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        size = self.space_size
+        coverage = f"/{size}" if size else ""
+        return (
+            f"SearchResult(strategy={self.strategy!r}, "
+            f"evaluations={len(self)}{coverage}, rounds={len(self.rounds)}, "
+            f"cache_hits={self.cache_hits})"
+        )

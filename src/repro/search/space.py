@@ -1,0 +1,116 @@
+"""A spec's cross product as a lazy, indexable design space.
+
+:class:`DesignSpace` views an :class:`~repro.experiment.ExperimentSpec`
+as a mixed-radix integer space — index ``i`` maps to one scenario, with
+the first declared axis varying slowest, **exactly** the expansion order
+of ``spec.scenarios()``.  Nothing is materialized: a 10^6-point space
+costs a tuple of axis values, which is what lets strategies sample,
+walk neighbors, and promote candidates without ever building the grid.
+"""
+
+from __future__ import annotations
+
+from repro.sweep.grid import Scenario
+
+
+class DesignSpace:
+    """Lazy index <-> scenario mapping over a spec's axes."""
+
+    def __init__(self, spec) -> None:
+        self._spec = spec
+        self._base = dict(spec.base)
+        self._names: tuple[str, ...] = tuple(k for k, _ in spec.axes)
+        self._values: tuple[tuple, ...] = tuple(v for _, v in spec.axes)
+        self._sizes: tuple[int, ...] = tuple(len(v) for v in self._values)
+        total = 1
+        for size in self._sizes:
+            total *= size
+        self._size = total
+
+    @property
+    def spec(self):
+        return self._spec
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        return self._names
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- index arithmetic -----------------------------------------------
+
+    def coords(self, index: int) -> tuple[int, ...]:
+        """Per-axis value indices for one point (first axis slowest)."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} outside [0, {self._size})")
+        out = []
+        for size in reversed(self._sizes):
+            index, digit = divmod(index, size)
+            out.append(digit)
+        return tuple(reversed(out))
+
+    def index(self, coords) -> int:
+        """Inverse of :meth:`coords`."""
+        coords = tuple(coords)
+        if len(coords) != len(self._sizes):
+            raise ValueError(
+                f"expected {len(self._sizes)} coordinates, got {len(coords)}"
+            )
+        index = 0
+        for digit, size in zip(coords, self._sizes):
+            if not 0 <= digit < size:
+                raise IndexError(f"coordinate {digit} outside [0, {size})")
+            index = index * size + digit
+        return index
+
+    # -- scenarios -------------------------------------------------------
+
+    def scenario_at(self, index: int) -> Scenario:
+        """The scenario at one integer point of the space."""
+        coords = self.coords(index)
+        fields = dict(self._base)
+        for name, values, digit in zip(self._names, self._values, coords):
+            fields[name] = values[digit]
+        return Scenario(**fields)
+
+    def index_of(self, scenario: Scenario) -> int | None:
+        """The index of a scenario, or None when it lies off the grid.
+
+        Off-grid includes both axis values the spec never declared *and*
+        base-field deviations (e.g. a reduced-fidelity horizon a search
+        strategy probed with) — those must never be mistaken for grid
+        points when picking a best point or a frontier.
+        """
+        coords = []
+        for name, values in zip(self._names, self._values):
+            try:
+                coords.append(values.index(getattr(scenario, name)))
+            except ValueError:
+                return None
+        index = self.index(coords)
+        return index if self.scenario_at(index) == scenario else None
+
+    def contains(self, scenario: Scenario) -> bool:
+        return self.index_of(scenario) is not None
+
+    # -- neighborhoods ---------------------------------------------------
+
+    def neighbors(self, index: int) -> list[int]:
+        """Indices one axis step away (+-1 per axis), deterministic order."""
+        coords = self.coords(index)
+        out = []
+        for axis, digit in enumerate(coords):
+            for step in (-1, 1):
+                moved = digit + step
+                if 0 <= moved < self._sizes[axis]:
+                    neighbor = list(coords)
+                    neighbor[axis] = moved
+                    out.append(self.index(neighbor))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        axes = ", ".join(
+            f"{name}[{size}]" for name, size in zip(self._names, self._sizes)
+        )
+        return f"DesignSpace({len(self)} points: {axes or 'base only'})"

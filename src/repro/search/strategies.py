@@ -1,0 +1,365 @@
+"""Pluggable search strategies over a :class:`~repro.search.space.DesignSpace`.
+
+A strategy is a propose/observe/done loop: each round it proposes a
+batch of scenarios, the driver evaluates them through the sweep engine
+(any backend, every result cached), and the outcomes are observed back.
+Everything random derives from ``rng_seed`` alone, and observations are
+bit-identical across backends, so a strategy proposes the **same point
+sequence** whether the batches run serial, process-parallel, or on a
+distributed fleet — which is also what makes an interrupted search
+resume from the cache for free.
+
+Four built-ins ship (open via :func:`register_strategy`):
+
+``grid``
+    Exhaustive, in spec expansion order — bit-identical to the plain
+    ``run_experiment`` path and the parity reference for the others.
+``random``
+    Seeded uniform sampling without replacement, ``budget`` points.
+``halving``
+    Successive halving: spend most of the budget on cheap low-fidelity
+    probes (scaled-down ``horizon``), promote the top ``1/eta`` per rung,
+    finish the survivors at full fidelity.
+``pareto``
+    Maintain the Pareto front of evaluated points (QoS x reclaimed
+    cores by default) and sample the front's grid neighbors, plus an
+    exploration fraction of fresh random points.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import replace
+from typing import Protocol, Type, runtime_checkable
+
+from repro.search.frontier import pareto_indices
+from repro.search.objective import DEFAULT_OBJECTIVE, resolve_objectives
+from repro.search.space import DesignSpace
+from repro.sweep.grid import Scenario
+
+
+@runtime_checkable
+class SearchStrategy(Protocol):
+    """The round-based contract the search driver runs."""
+
+    def propose(self, history) -> list[Scenario]:
+        """The next batch to evaluate (empty = nothing left to ask)."""
+
+    def observe(self, outcomes) -> None:
+        """Feed back the outcomes of the last proposal, proposal order."""
+
+    def done(self) -> bool:
+        """True once the strategy has no further rounds."""
+
+
+class StrategyBase:
+    """Shared plumbing: space, budget, resolved objectives, seeded RNG."""
+
+    name = "base"
+    #: Objectives used when the caller gives none; subclasses override.
+    default_objectives: tuple[str, ...] = (DEFAULT_OBJECTIVE,)
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        budget: int | None = None,
+        objectives=None,
+        rng_seed: int = 0,
+    ) -> None:
+        if budget is not None and budget < 1:
+            raise ValueError(f"budget must be a positive count, got {budget!r}")
+        self._space = space
+        self._budget = budget
+        self._objectives = resolve_objectives(
+            objectives, default=self.default_objectives
+        )
+        self._rng = random.Random(int(rng_seed))
+
+    @property
+    def objectives(self):
+        return self._objectives
+
+    @property
+    def primary(self):
+        return self._objectives[0]
+
+    def _score(self, outcome) -> float:
+        return self.primary.score(outcome.result)
+
+    def observe(self, outcomes) -> None:  # default: stateless strategies
+        pass
+
+
+class GridStrategy(StrategyBase):
+    """Exhaustive expansion — the parity reference for every other strategy."""
+
+    name = "grid"
+
+    def __init__(self, space, budget=None, objectives=None, rng_seed=0) -> None:
+        super().__init__(space, budget=budget, objectives=objectives, rng_seed=rng_seed)
+        if budget is not None and budget < len(space):
+            raise ValueError(
+                f"grid strategy is exhaustive: budget {budget} cannot cover "
+                f"the {len(space)}-point space (use random/halving/pareto "
+                "to search under a budget)"
+            )
+        self._proposed = False
+
+    def propose(self, history) -> list[Scenario]:
+        if self._proposed:
+            return []
+        self._proposed = True
+        return [self._space.scenario_at(i) for i in range(len(self._space))]
+
+    def done(self) -> bool:
+        return self._proposed
+
+
+class RandomStrategy(StrategyBase):
+    """Seeded uniform sampling without replacement, in budget-sized rounds."""
+
+    name = "random"
+
+    def __init__(
+        self, space, budget=None, objectives=None, rng_seed=0, batch_size: int = 32
+    ) -> None:
+        super().__init__(space, budget=budget, objectives=objectives, rng_seed=rng_seed)
+        count = len(space) if budget is None else min(budget, len(space))
+        # range() sampling is lazy: a 10^6-point space costs nothing here.
+        self._indices = self._rng.sample(range(len(space)), count)
+        self._batch_size = max(1, batch_size)
+        self._cursor = 0
+
+    def propose(self, history) -> list[Scenario]:
+        batch = self._indices[self._cursor : self._cursor + self._batch_size]
+        self._cursor += len(batch)
+        return [self._space.scenario_at(i) for i in batch]
+
+    def done(self) -> bool:
+        return self._cursor >= len(self._indices)
+
+
+class SuccessiveHalving(StrategyBase):
+    """Budget allocation in rungs of increasing fidelity.
+
+    ``horizon`` is the fidelity knob: rung ``i`` of ``r`` runs its
+    candidates at ``horizon * eta**-(r-1-i)`` (floored so every run
+    still spans a couple of decision intervals), and only the top
+    ``1/eta`` by the primary objective are promoted.  The final rung
+    runs at **full** fidelity, so the returned best point is directly
+    comparable to the exhaustive optimum.  Rung sizes are chosen so the
+    total number of evaluations never exceeds ``budget``.
+    """
+
+    name = "halving"
+
+    def __init__(
+        self,
+        space,
+        budget=None,
+        objectives=None,
+        rng_seed=0,
+        eta: int = 3,
+        rungs: int | None = None,
+    ) -> None:
+        super().__init__(space, budget=budget, objectives=objectives, rng_seed=rng_seed)
+        if budget is None:
+            raise ValueError(
+                "halving allocates a fixed evaluation budget across rungs; "
+                "pass budget=N"
+            )
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        if "horizon" in space.axis_names:
+            raise ValueError(
+                "halving uses `horizon` as its fidelity knob, so a spec "
+                "sweeping horizon as an axis cannot use it — pick "
+                "random/pareto instead"
+            )
+        self._eta = eta
+        self._rungs = rungs or max(
+            2, min(4, int(math.log(max(budget, eta), eta)))
+        )
+        # Largest starting cohort whose rung series fits the budget:
+        # rung i costs ceil(n0 / eta**i), summed over all rungs.
+        n0 = min(len(space), budget)
+        while n0 > 1 and self._series_cost(n0) > budget:
+            over = self._series_cost(n0) - budget
+            n0 = max(1, n0 - max(1, over // self._rungs))
+        self._pool = sorted(self._rng.sample(range(len(space)), n0))
+        self._rung = 0
+        self._awaiting: dict[Scenario, int] = {}
+
+    def _series_cost(self, n0: int) -> int:
+        return sum(
+            math.ceil(n0 / self._eta**i) for i in range(self._rungs)
+        )
+
+    def _fidelity(self, scenario: Scenario) -> Scenario:
+        """The scenario scaled to this rung's fidelity fraction."""
+        fraction = self._eta ** -(self._rungs - 1 - self._rung)
+        if fraction >= 1.0:
+            return scenario
+        floor = max(
+            2.0 * scenario.decision_interval, 4.0 * scenario.monitor_epoch
+        )
+        horizon = min(scenario.horizon, max(scenario.horizon * fraction, floor))
+        return replace(scenario, horizon=horizon)
+
+    def propose(self, history) -> list[Scenario]:
+        if self.done():
+            return []
+        self._awaiting = {}
+        batch = []
+        for index in self._pool:
+            probe = self._fidelity(self._space.scenario_at(index))
+            self._awaiting[probe] = index
+            batch.append(probe)
+        return batch
+
+    def observe(self, outcomes) -> None:
+        scored = []
+        for outcome in outcomes:
+            index = self._awaiting.get(outcome.scenario)
+            if index is not None:
+                scored.append((-self._score(outcome), index))
+        self._rung += 1
+        if self._rung >= self._rungs:
+            self._pool = []
+            return
+        promoted = max(1, math.ceil(len(self._pool) / self._eta))
+        scored.sort()  # best score first; index breaks ties deterministically
+        self._pool = sorted(index for _, index in scored[:promoted])
+
+    def done(self) -> bool:
+        return self._rung >= self._rungs or not self._pool
+
+
+class ParetoGuided(StrategyBase):
+    """Sample near the evolving Pareto front of the evaluated points.
+
+    Each round: compute the non-dominated set under the objectives
+    (default: QoS attainment x sustained reclaimed cores — the paper's
+    quality-vs-utilization tension), propose its unevaluated grid
+    neighbors, and blend in an exploration fraction of fresh random
+    points so the search never wedges on a local front.
+    """
+
+    name = "pareto"
+    default_objectives = (DEFAULT_OBJECTIVE, "max:sustained_cores_reclaimed")
+
+    def __init__(
+        self,
+        space,
+        budget=None,
+        objectives=None,
+        rng_seed=0,
+        batch_size: int = 16,
+        explore_fraction: float = 0.25,
+    ) -> None:
+        super().__init__(space, budget=budget, objectives=objectives, rng_seed=rng_seed)
+        if not 0.0 <= explore_fraction <= 1.0:
+            raise ValueError(
+                f"explore_fraction must be in [0, 1], got {explore_fraction}"
+            )
+        self._batch_size = max(1, batch_size)
+        self._explore = explore_fraction
+        self._scores: dict[int, tuple[float, ...]] = {}
+        self._proposed: set[int] = set()
+
+    def _random_unproposed(self, count: int) -> list[int]:
+        """Fresh random indices, deterministic under the seed."""
+        total = len(self._space)
+        picked: list[int] = []
+        misses = 0
+        while len(picked) < count and len(self._proposed) + len(picked) < total:
+            candidate = self._rng.randrange(total)
+            if candidate in self._proposed or candidate in picked:
+                misses += 1
+                # Dense coverage makes rejection sampling slow; fall back
+                # to a deterministic scan of whatever is left.
+                if misses > 16 * (count + 1):
+                    remaining = [
+                        i
+                        for i in range(total)
+                        if i not in self._proposed and i not in picked
+                    ]
+                    picked.extend(remaining[: count - len(picked)])
+                    break
+                continue
+            picked.append(candidate)
+        return picked
+
+    def propose(self, history) -> list[Scenario]:
+        batch: list[int] = []
+        if self._scores:
+            evaluated = sorted(self._scores)
+            front = [
+                evaluated[i]
+                for i in pareto_indices([self._scores[i] for i in evaluated])
+            ]
+            candidates = []
+            for index in front:
+                for neighbor in self._space.neighbors(index):
+                    if neighbor not in self._proposed and neighbor not in candidates:
+                        candidates.append(neighbor)
+            explore = min(
+                self._batch_size, max(1, round(self._batch_size * self._explore))
+            )
+            keep = self._batch_size - explore
+            if len(candidates) > keep:
+                candidates = self._rng.sample(candidates, keep)
+            batch.extend(candidates)
+        self._proposed.update(batch)
+        batch.extend(self._random_unproposed(self._batch_size - len(batch)))
+        self._proposed.update(batch)
+        return [self._space.scenario_at(i) for i in batch]
+
+    def observe(self, outcomes) -> None:
+        for outcome in outcomes:
+            index = self._space.index_of(outcome.scenario)
+            if index is not None:
+                self._scores[index] = tuple(
+                    objective.score(outcome.result) for objective in self._objectives
+                )
+
+    def done(self) -> bool:
+        # Budget exhaustion is the driver's call; the strategy itself only
+        # stops once the whole space has been proposed.
+        return len(self._proposed) >= len(self._space)
+
+
+#: Built-in strategies by CLI/spec name.  Open via register_strategy().
+STRATEGIES: dict[str, Type[StrategyBase]] = {
+    "grid": GridStrategy,
+    "random": RandomStrategy,
+    "halving": SuccessiveHalving,
+    "pareto": ParetoGuided,
+}
+
+
+def register_strategy(
+    name: str, strategy: Type[StrategyBase], overwrite: bool = False
+) -> Type[StrategyBase]:
+    """Register a strategy class under ``name`` for specs/CLI to reference."""
+    if not callable(strategy):
+        raise TypeError(f"strategy {name!r} must be a class or factory")
+    if not overwrite and name in STRATEGIES:
+        raise ValueError(
+            f"strategy {name!r} is already registered; pass overwrite=True"
+        )
+    STRATEGIES[name] = strategy
+    return strategy
+
+
+def resolve_strategy(name: str) -> Type[StrategyBase]:
+    """A registered strategy class from its name."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ValueError(
+            f"unknown search strategy {name!r} (known: {known}); custom "
+            "strategies register via repro.search.register_strategy"
+        ) from None

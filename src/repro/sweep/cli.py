@@ -33,6 +33,12 @@ Grid flags only reach the six axes ``SweepGrid`` hard-codes; ``--spec
 exp.json`` submits a full :class:`~repro.experiment.ExperimentSpec` —
 any scenario field as an axis (load shape, platform, slack threshold,
 ...), written once and shared between hosts, figures, and scripts.
+
+``--strategy`` / ``--budget`` / ``--objective`` / ``--rng-seed`` turn a
+submit into a budgeted search (:mod:`repro.search`): the submitter
+proposes rounds from observed results (so it needs ``--wait``) while
+workers keep doing the evaluating, and every point still lands in the
+shared cache.
 """
 
 from __future__ import annotations
@@ -96,6 +102,20 @@ _GRID_FLAG_DEFAULTS = {
 }
 
 
+def _fold_search_flags(spec: ExperimentSpec, args) -> ExperimentSpec:
+    """Overlay --strategy/--budget/--objective/--rng-seed onto the spec.
+
+    Unlike the grid flags these *compose* with --spec: a spec file fixes
+    the axes while the command line picks how hard to search them.
+    """
+    return spec.with_search(
+        strategy=args.strategy,
+        budget=args.budget,
+        objective=tuple(args.objective) if args.objective else None,
+        rng_seed=args.rng_seed,
+    )
+
+
 def build_spec(args) -> ExperimentSpec:
     """The experiment to submit: ``--spec`` file, or grid flags lifted."""
     if args.spec:
@@ -109,7 +129,7 @@ def build_spec(args) -> ExperimentSpec:
                 f"--spec is exclusive with grid flags; drop "
                 f"{', '.join(overridden)} or fold them into the spec file"
             )
-        return ExperimentSpec.load(args.spec)
+        return _fold_search_flags(ExperimentSpec.load(args.spec), args)
     if not args.apps:
         raise SystemExit(
             "submit needs --apps (grid flags) or --spec exp.json"
@@ -130,7 +150,7 @@ def build_spec(args) -> ExperimentSpec:
         seeds=args.seeds,
         base=base,
     )
-    return ExperimentSpec.from_grid(grid)
+    return _fold_search_flags(ExperimentSpec.from_grid(grid), args)
 
 
 def cmd_submit(args) -> int:
@@ -141,8 +161,14 @@ def cmd_submit(args) -> int:
         )
     _import_modules(args.import_modules)
     spec = build_spec(args)
-    scenarios = spec.scenarios()
+    if spec.search_requested and not args.wait:
+        raise SystemExit(
+            "a budgeted search needs --wait: the submitter proposes each "
+            "round from the previous round's results, so it must stay "
+            "attached (workers still do the evaluating)"
+        )
     if not args.wait:
+        scenarios = spec.scenarios()
         transport = transport_from_spec(args.spool, lease_ttl=args.lease_ttl)
         transport.submit_many(scenarios)
         status = transport.status()
@@ -169,6 +195,18 @@ def cmd_submit(args) -> int:
     except (RuntimeError, TimeoutError) as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
+    if spec.search_requested:
+        best = results.best()
+        print(
+            f"search '{results.strategy}' evaluated {results.evaluations} of "
+            f"{results.space_size} points "
+            f"({100 * results.fraction_evaluated:.1f}%) in "
+            f"{len(results.rounds)} rounds"
+        )
+        print(
+            f"best point: {best.scenario.label()} "
+            f"({results.objectives[0].spec} = {results.best_value():.4g})"
+        )
     print(
         f"{len(results)} scenarios complete ({results.cache_hits} from cache)"
     )
@@ -300,6 +338,19 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--horizon", type=float, default=400.0)
     submit.add_argument("--monitor-epoch", type=float, default=0.1)
     submit.add_argument("--slack-threshold", type=float, default=0.10)
+    submit.add_argument("--strategy", default=None,
+                        metavar="grid|random|halving|pareto",
+                        help="search strategy instead of the exhaustive "
+                        "grid (see repro.search); composes with --spec")
+    submit.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="hard ceiling on unique scenario evaluations")
+    submit.add_argument("--objective", action="append", default=None,
+                        metavar="[min:|max:]METRIC",
+                        help="objective metric ranking points; repeat for "
+                        "multi-objective (first is primary)")
+    submit.add_argument("--rng-seed", type=int, default=None, metavar="N",
+                        help="seed for stochastic strategies (default 0; "
+                        "fixes the proposal sequence on every backend)")
     submit.add_argument("--wait", action="store_true",
                         help="block until every result is in the cache")
     submit.add_argument("--workers", type=int, default=0, metavar="N",

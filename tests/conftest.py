@@ -9,7 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro.apps import make_app
-from repro.exploration import DesignSpaceExplorer
+from repro.search import DesignSpaceExplorer
 
 #: Apps with sub-100ms kernels, safe for use in per-test exploration.
 FAST_APPS = ("water_spatial", "kmeans", "semphy", "raytrace", "bayesian")

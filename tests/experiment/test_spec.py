@@ -185,3 +185,58 @@ class TestSerialization:
         assert ExperimentSpec.load(path) == spec
         # The file is plain JSON, inspectable by anything.
         assert json.loads(path.read_text())["name"] == "demo"
+
+
+class TestSearchFields:
+    def test_defaults_are_exhaustive_grid(self):
+        spec = demo_spec()
+        assert spec.strategy == "grid"
+        assert spec.budget is None
+        assert spec.objective == ()
+        assert spec.rng_seed == 0
+        assert not spec.search_requested
+
+    def test_default_search_fields_stay_out_of_json(self):
+        # Pre-search spec files and their goldens must be byte-stable.
+        payload = demo_spec().to_dict()
+        assert {"strategy", "budget", "objective", "rng_seed"}.isdisjoint(
+            payload
+        )
+
+    def test_search_fields_round_trip(self):
+        spec = demo_spec().with_search(
+            strategy="halving",
+            budget=32,
+            objective=("max:qos_met_fraction", "min:mean_inaccuracy_pct"),
+            rng_seed=7,
+        )
+        assert spec.search_requested
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.strategy == "halving" and clone.budget == 32
+
+    def test_with_search_none_keeps_existing(self):
+        spec = demo_spec().with_search(strategy="pareto", budget=16)
+        tweaked = spec.with_search(rng_seed=5)
+        assert tweaked.strategy == "pareto"
+        assert tweaked.budget == 16
+        assert tweaked.rng_seed == 5
+
+    def test_single_objective_string_normalized_to_tuple(self):
+        spec = demo_spec().with_search(objective="qos_met_fraction")
+        assert spec.objective == ("qos_met_fraction",)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            demo_spec().with_search(budget=0)
+        with pytest.raises(ValueError, match="budget"):
+            ExperimentSpec(base=BASE, budget=True)
+
+    def test_bad_objective_shape_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            demo_spec().with_search(objective=("avg:qos_met_fraction",))
+        with pytest.raises(ValueError, match="objective"):
+            ExperimentSpec(base=BASE, objective=(3,))
+
+    def test_budget_alone_requests_search(self):
+        assert demo_spec().with_search(budget=3).search_requested

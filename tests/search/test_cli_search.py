@@ -1,0 +1,79 @@
+"""``python -m repro.sweep submit --strategy/--budget`` — search via the CLI."""
+
+import pytest
+
+from repro.experiment import ExperimentSpec
+from repro.sweep.cli import main
+
+
+def spec_file(tmp_path):
+    spec = ExperimentSpec(
+        name="cli-search",
+        base={"service": "memcached", "apps": "kmeans", "horizon": 10.0,
+              "monitor_epoch": 0.5},
+        axes={
+            "load_fraction": (0.5, 0.6, 0.7, 0.8),
+            "slack_threshold": (0.05, 0.10),
+        },
+    )
+    return spec, spec.save(tmp_path / "exp.json")
+
+
+def submit_args(tmp_path, path):
+    return ["submit", "--spool", str(tmp_path / "spool"),
+            "--cache", str(tmp_path / "cache"), "--spec", str(path)]
+
+
+class TestSubmitSearch:
+    def test_search_flags_compose_with_spec(self, tmp_path, capsys):
+        _, path = spec_file(tmp_path)
+        assert main(
+            [*submit_args(tmp_path, path),
+             "--strategy", "halving", "--budget", "6", "--rng-seed", "3",
+             "--wait", "--workers", "1", "--timeout", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "search 'halving' evaluated 6 of 8 points" in out
+        assert "best point:" in out
+
+    def test_search_spec_file_alone_is_enough(self, tmp_path, capsys):
+        spec, _ = spec_file(tmp_path)
+        path = spec.with_search(strategy="random", budget=4).save(
+            tmp_path / "search.json"
+        )
+        assert main(
+            [*submit_args(tmp_path, path),
+             "--wait", "--workers", "1", "--timeout", "300"]
+        ) == 0
+        assert "search 'random' evaluated 4 of 8 points" in (
+            capsys.readouterr().out
+        )
+
+    def test_objective_flag_repeats(self, tmp_path, capsys):
+        _, path = spec_file(tmp_path)
+        assert main(
+            [*submit_args(tmp_path, path),
+             "--strategy", "random", "--budget", "4",
+             "--objective", "max:sustained_cores_reclaimed",
+             "--objective", "min:mean_inaccuracy_pct",
+             "--wait", "--workers", "1", "--timeout", "300"]
+        ) == 0
+        assert "max:sustained_cores_reclaimed" in capsys.readouterr().out
+
+    def test_search_requires_wait(self, tmp_path):
+        _, path = spec_file(tmp_path)
+        with pytest.raises(SystemExit, match="needs --wait"):
+            main([*submit_args(tmp_path, path),
+                  "--strategy", "random", "--budget", "4"])
+
+    def test_unknown_strategy_fails_loudly(self, tmp_path):
+        _, path = spec_file(tmp_path)
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            main([*submit_args(tmp_path, path),
+                  "--strategy", "annealing", "--budget", "4",
+                  "--wait", "--workers", "1", "--timeout", "300"])
+
+    def test_plain_submit_unaffected(self, tmp_path, capsys):
+        _, path = spec_file(tmp_path)
+        assert main(submit_args(tmp_path, path)) == 0
+        assert "spooled 8 scenarios" in capsys.readouterr().out

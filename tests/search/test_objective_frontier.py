@@ -1,0 +1,118 @@
+"""Objectives (direction-folded metric scores) and Pareto machinery."""
+
+import pytest
+
+from repro.experiment import run_experiment
+from repro.search import (
+    DEFAULT_OBJECTIVE,
+    Objective,
+    dominates,
+    pareto_indices,
+    parse_objective,
+    resolve_objectives,
+    tolerance_frontier,
+)
+from repro.sweep.grid import Scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    outcomes = run_experiment(
+        [Scenario(service="memcached", apps="kmeans", horizon=8.0,
+                  monitor_epoch=0.5)],
+        workers=1,
+    )
+    return outcomes[0].result
+
+
+class TestParse:
+    def test_bare_metric_defaults_to_max(self):
+        obj = parse_objective("qos_met_fraction")
+        assert obj == Objective("qos_met_fraction", "max")
+
+    def test_explicit_modes(self):
+        assert parse_objective("min:mean_inaccuracy_pct").mode == "min"
+        assert parse_objective("max:qos_met_fraction").mode == "max"
+
+    def test_spec_round_trips(self):
+        for text in ("max:qos_met_fraction", "min:mean_inaccuracy_pct"):
+            assert parse_objective(text).spec == text
+
+    def test_objective_passthrough(self):
+        obj = Objective("qos_met_fraction")
+        assert parse_objective(obj) is obj
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            parse_objective("avg:qos_met_fraction")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            parse_objective(42)
+
+    def test_resolve_defaults_when_empty(self):
+        for empty in (None, (), []):
+            objectives = resolve_objectives(empty)
+            assert objectives == (parse_objective(DEFAULT_OBJECTIVE),)
+
+    def test_resolve_keeps_declaration_order(self):
+        objectives = resolve_objectives(
+            ("min:mean_inaccuracy_pct", "qos_met_fraction")
+        )
+        assert [o.spec for o in objectives] == [
+            "min:mean_inaccuracy_pct", "max:qos_met_fraction",
+        ]
+
+
+class TestScoring:
+    def test_value_reads_registered_metric(self, result):
+        value = Objective("qos_met_fraction").value(result)
+        assert value is not None and 0.0 <= value <= 1.0
+
+    def test_min_mode_flips_sign(self, result):
+        obj_max = Objective("qos_met_fraction", "max")
+        obj_min = Objective("qos_met_fraction", "min")
+        assert obj_min.score(result) == -obj_max.score(result)
+
+    def test_unknown_metric_raises(self, result):
+        with pytest.raises(ValueError, match="unknown metric"):
+            Objective("no_such_metric").value(result)
+
+    def test_missing_or_nan_value_scores_worst(self, result):
+        from repro.experiment.resultset import METRICS, register_metric
+
+        for name, bad in (
+            ("_test_none_metric", lambda r: None),
+            ("_test_nan_metric", lambda r: float("nan")),
+        ):
+            register_metric(name, bad, overwrite=True)
+            try:
+                assert Objective(name).score(result) == float("-inf")
+            finally:
+                METRICS.pop(name, None)
+
+
+class TestDominance:
+    def test_dominates_requires_strict_improvement(self):
+        assert dominates((1.0, 1.0), (1.0, 0.5))
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+        assert not dominates((1.0, 0.0), (0.0, 1.0))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+    def test_pareto_indices_keeps_front_in_order(self):
+        rows = [(1.0, 0.0), (0.5, 0.5), (0.0, 1.0), (0.4, 0.4)]
+        assert pareto_indices(rows) == [0, 1, 2]
+
+    def test_pareto_ties_all_survive(self):
+        rows = [(1.0, 0.0), (1.0, 0.0), (0.0, 1.0)]
+        assert pareto_indices(rows) == [0, 1, 2]
+
+    def test_tolerance_frontier_prunes_near_duplicates(self):
+        items = [(1.0, 10.0), (2.0, 9.99), (3.0, 5.0), (4.0, 4.99)]
+        kept = tolerance_frontier(
+            items, key=lambda p: p[0], value=lambda p: p[1], tolerance=0.03
+        )
+        assert kept == [(1.0, 10.0), (3.0, 5.0)]

@@ -1,0 +1,93 @@
+"""DesignSpace: lazy mixed-radix indexing over an ExperimentSpec.
+
+The load-bearing contract is order parity: ``space.scenario_at(i)`` for
+i in range(len(space)) must equal ``spec.scenarios()`` element-wise, so
+``GridStrategy`` is bit-identical to exhaustive expansion.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiment import ExperimentSpec
+from repro.search import DesignSpace
+
+SPEC = ExperimentSpec(
+    name="space-under-test",
+    base={"service": "memcached", "apps": "kmeans", "horizon": 10.0},
+    axes={
+        "load_fraction": (0.5, 0.6, 0.7),
+        "slack_threshold": (0.05, 0.10),
+        "seed": (0, 1),
+    },
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return DesignSpace(SPEC)
+
+
+class TestIndexing:
+    def test_len_matches_spec(self, space):
+        assert len(space) == len(SPEC) == 12
+
+    def test_coords_index_round_trip(self, space):
+        for i in range(len(space)):
+            assert space.index(space.coords(i)) == i
+
+    def test_order_matches_spec_scenarios(self, space):
+        expanded = SPEC.scenarios()
+        assert [space.scenario_at(i) for i in range(len(space))] == expanded
+
+    def test_first_axis_varies_slowest(self, space):
+        # Mixed radix: the first declared axis changes only every
+        # (len(space) / len(axis0)) scenarios.
+        stride = len(space) // 3
+        loads = [space.scenario_at(i).load_fraction for i in range(len(space))]
+        assert loads == [0.5] * stride + [0.6] * stride + [0.7] * stride
+
+    def test_index_out_of_range(self, space):
+        with pytest.raises(IndexError):
+            space.scenario_at(len(space))
+        with pytest.raises(IndexError):
+            space.scenario_at(-1)
+
+
+class TestMembership:
+    def test_index_of_every_grid_point(self, space):
+        for i, scenario in enumerate(SPEC.scenarios()):
+            assert space.index_of(scenario) == i
+            assert space.contains(scenario)
+
+    def test_off_axis_value_not_contained(self, space):
+        off = dataclasses.replace(space.scenario_at(0), load_fraction=0.99)
+        assert space.index_of(off) is None
+        assert not space.contains(off)
+
+    def test_off_base_value_not_contained(self, space):
+        # A halving fidelity probe deviates in a *base* field (horizon);
+        # axis lookups alone would wrongly claim membership.
+        probe = dataclasses.replace(space.scenario_at(5), horizon=4.0)
+        assert space.index_of(probe) is None
+        assert not space.contains(probe)
+
+
+class TestNeighbors:
+    def test_interior_point_has_one_step_per_axis_direction(self, space):
+        center = space.index((1, 0, 0))
+        neighbors = space.neighbors(center)
+        coords = [space.coords(n) for n in neighbors]
+        for c in coords:
+            diffs = [abs(a - b) for a, b in zip(c, (1, 0, 0))]
+            assert sum(diffs) == 1  # exactly one axis moved, by one step
+        assert len(neighbors) == len(set(neighbors)) == 4
+
+    def test_corner_point_clips_to_bounds(self, space):
+        neighbors = space.neighbors(space.index((0, 0, 0)))
+        assert len(neighbors) == 3
+        assert all(0 <= n < len(space) for n in neighbors)
+
+    def test_neighbor_order_deterministic(self, space):
+        i = space.index((1, 1, 0))
+        assert space.neighbors(i) == space.neighbors(i)

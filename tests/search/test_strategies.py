@@ -1,0 +1,198 @@
+"""Strategy mechanics that don't need a sweep engine: proposal sets,
+rung arithmetic, seeding, and the registry."""
+
+import math
+
+import pytest
+
+from repro.experiment import ExperimentSpec
+from repro.search import (
+    DesignSpace,
+    GridStrategy,
+    ParetoGuided,
+    RandomStrategy,
+    SearchStrategy,
+    SuccessiveHalving,
+    register_strategy,
+    resolve_strategy,
+)
+from repro.search.strategies import STRATEGIES
+
+SPEC = ExperimentSpec(
+    name="strategy-under-test",
+    base={"service": "memcached", "apps": "kmeans", "horizon": 30.0,
+          "monitor_epoch": 0.5},
+    axes={
+        "load_fraction": (0.5, 0.6, 0.7, 0.8),
+        "slack_threshold": (0.02, 0.05, 0.08, 0.12),
+        "seed": (0, 1),
+    },
+)
+
+
+@pytest.fixture()
+def space():
+    return DesignSpace(SPEC)
+
+
+class TestProtocol:
+    def test_builtins_satisfy_protocol(self, space):
+        for name, cls in STRATEGIES.items():
+            strategy = cls(space, budget=len(space))
+            assert isinstance(strategy, SearchStrategy), name
+
+
+class TestGrid:
+    def test_proposes_whole_space_once_in_order(self, space):
+        strategy = GridStrategy(space)
+        assert not strategy.done()
+        assert strategy.propose(None) == SPEC.scenarios()
+        assert strategy.done()
+        assert strategy.propose(None) == []
+
+    def test_budget_below_space_rejected(self, space):
+        with pytest.raises(ValueError, match="exhaustive"):
+            GridStrategy(space, budget=len(space) - 1)
+
+
+class TestRandom:
+    def test_samples_budget_unique_points(self, space):
+        strategy = RandomStrategy(space, budget=10, rng_seed=7)
+        proposed = []
+        while not strategy.done():
+            proposed.extend(strategy.propose(None))
+        assert len(proposed) == 10
+        assert len(set(proposed)) == 10
+        assert all(space.contains(s) for s in proposed)
+
+    def test_budget_capped_by_space(self, space):
+        strategy = RandomStrategy(space, budget=10 * len(space), rng_seed=7)
+        proposed = []
+        while not strategy.done():
+            proposed.extend(strategy.propose(None))
+        assert sorted(space.index_of(s) for s in proposed) == list(
+            range(len(space))
+        )
+
+    def test_same_seed_same_sequence(self, space):
+        a = RandomStrategy(space, budget=12, rng_seed=3).propose(None)
+        b = RandomStrategy(space, budget=12, rng_seed=3).propose(None)
+        c = RandomStrategy(space, budget=12, rng_seed=4).propose(None)
+        assert a == b
+        assert a != c
+
+
+class TestHalving:
+    def test_requires_budget(self, space):
+        with pytest.raises(ValueError, match="budget"):
+            SuccessiveHalving(space)
+
+    def test_horizon_axis_rejected(self):
+        swept = SPEC.with_axis("horizon", (10.0, 20.0))
+        with pytest.raises(ValueError, match="horizon"):
+            SuccessiveHalving(DesignSpace(swept), budget=8)
+
+    @pytest.mark.parametrize("budget", [4, 8, 16, 31])
+    def test_rung_series_fits_budget(self, space, budget):
+        strategy = SuccessiveHalving(space, budget=budget, rng_seed=1)
+        assert strategy._series_cost(len(strategy._pool)) <= budget
+
+    def test_early_rungs_probe_reduced_horizon(self, space):
+        strategy = SuccessiveHalving(space, budget=16, rng_seed=1)
+        first = strategy.propose(None)
+        assert all(probe.horizon < 30.0 for probe in first)
+        # Fidelity never collapses below a couple of decision intervals.
+        assert all(
+            probe.horizon >= 2.0 * probe.decision_interval for probe in first
+        )
+
+    def test_final_rung_runs_full_fidelity(self, space):
+        strategy = SuccessiveHalving(space, budget=16, rng_seed=1)
+
+        class _FakeResult:
+            pass
+
+        class _FakeOutcome:
+            def __init__(self, scenario, score):
+                self.scenario = scenario
+                self.result = _FakeResult()
+                self.result._score = score
+
+        rounds = []
+        score_of = lambda s: -abs(s.load_fraction - 0.6)  # noqa: E731
+        original = strategy._score
+        strategy._score = lambda outcome: outcome.result._score
+        while not strategy.done():
+            batch = strategy.propose(None)
+            rounds.append(batch)
+            strategy.observe(
+                [_FakeOutcome(probe, score_of(probe)) for probe in batch]
+            )
+        strategy._score = original
+        assert len(rounds) >= 2
+        assert all(probe.horizon == 30.0 for probe in rounds[-1])
+        # Pools shrink by ~1/eta each rung.
+        sizes = [len(batch) for batch in rounds]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] <= math.ceil(sizes[0] / 3)
+
+    def test_same_seed_same_pool(self, space):
+        a = SuccessiveHalving(space, budget=16, rng_seed=5)._pool
+        b = SuccessiveHalving(space, budget=16, rng_seed=5)._pool
+        c = SuccessiveHalving(space, budget=16, rng_seed=6)._pool
+        assert a == b
+        assert a != c
+
+
+class TestPareto:
+    def test_first_round_is_pure_exploration(self, space):
+        strategy = ParetoGuided(space, budget=16, rng_seed=2, batch_size=8)
+        batch = strategy.propose(None)
+        assert len(batch) == 8
+        assert len(set(batch)) == 8
+
+    def test_proposals_never_repeat_across_rounds(self, space):
+        strategy = ParetoGuided(space, budget=len(space), rng_seed=2,
+                                batch_size=8)
+        seen = set()
+        while not strategy.done():
+            batch = strategy.propose(None)
+            indices = {space.index_of(s) for s in batch}
+            assert not (indices & seen)
+            seen |= indices
+            strategy.observe([])
+        assert seen == set(range(len(space)))
+
+    def test_two_objectives_by_default(self, space):
+        strategy = ParetoGuided(space, budget=8)
+        assert [o.spec for o in strategy.objectives] == [
+            "max:qos_met_fraction", "max:sustained_cores_reclaimed",
+        ]
+
+    def test_explore_fraction_validated(self, space):
+        with pytest.raises(ValueError, match="explore_fraction"):
+            ParetoGuided(space, budget=8, explore_fraction=1.5)
+
+
+class TestRegistry:
+    def test_resolve_known_names(self):
+        assert resolve_strategy("grid") is GridStrategy
+        assert resolve_strategy("halving") is SuccessiveHalving
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="random"):
+            resolve_strategy("simulated-annealing")
+
+    def test_register_and_overwrite_guard(self, space):
+        class Custom(RandomStrategy):
+            name = "custom-test"
+
+        register_strategy("custom-test", Custom)
+        try:
+            assert resolve_strategy("custom-test") is Custom
+            with pytest.raises(ValueError, match="already registered"):
+                register_strategy("custom-test", Custom)
+            register_strategy("custom-test", RandomStrategy, overwrite=True)
+            assert resolve_strategy("custom-test") is RandomStrategy
+        finally:
+            STRATEGIES.pop("custom-test", None)

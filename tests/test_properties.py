@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.apps.base import MeasuredVariant, VariantSpec
 from repro.apps.knobs import perforated_count, perforated_indices
 from repro.core.controller import PliantController
-from repro.exploration.pareto import pareto_select
+from repro.search.ladder import pareto_select
 from repro.server.interference import _overload
 from repro.services.latency import LatencyCurve, LatencyCurveParams
 from repro.sim.analytic import mmc_erlang_c, mmc_tail_latency
