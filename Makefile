@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-figs sweep-smoke sweep-smoke-tcp search-smoke lint
+.PHONY: test bench bench-check bench-figs sweep-smoke sweep-smoke-tcp search-smoke lint lint-fixtures
 
 ## Tier-1: fast unit/integration suite (the gate for every PR).
 test:
@@ -40,6 +40,27 @@ bench-figs:
 bench-check:
 	$(PY) scripts/bench_check.py
 
-## Import/syntax floor: byte-compile everything (no linter is vendored).
+## Import/syntax floor plus repro-lint: byte-compile everything, then
+## enforce the determinism/lease-clock/distributed-safety invariants
+## (strict: stale baseline entries fail too).
 lint:
-	$(PY) -m compileall -q src tests benchmarks examples
+	$(PY) -m compileall -q src tests benchmarks examples scripts
+	$(PY) -m repro.analysis --strict
+
+## Sanity-check the lint fixture corpus: every bad fixture must still
+## fail its zone's rules, every good fixture must stay clean.  Guards
+## against a rule silently going blind.
+lint-fixtures:
+	@for f in tests/analysis/fixtures/*/bad_*.py; do \
+		zone=$$(basename $$(dirname $$f)); \
+		if $(PY) -m repro.analysis --no-baseline --zone $$zone $$f >/dev/null; then \
+			echo "lint-fixtures: $$f unexpectedly passed"; exit 1; \
+		fi; \
+	done
+	@for f in tests/analysis/fixtures/*/good_*.py; do \
+		zone=$$(basename $$(dirname $$f)); \
+		if ! $(PY) -m repro.analysis --no-baseline --zone $$zone $$f >/dev/null; then \
+			echo "lint-fixtures: $$f unexpectedly failed"; exit 1; \
+		fi; \
+	done
+	@echo "lint-fixtures: ok"

@@ -18,6 +18,9 @@ Public API tour
 ``repro.core``         -- the Pliant runtime (monitor, actuator, controller)
 ``repro.cluster``      -- colocation experiment harness and sweeps
 ``repro.experiment``   -- declarative specs, run_experiment, ResultSet
+``repro.analysis``     -- repro-lint: AST invariant checker (zones,
+                          pluggable rules, baseline; ``python -m
+                          repro.analysis``)
 """
 
 __version__ = "1.0.0"

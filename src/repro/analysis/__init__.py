@@ -1,0 +1,67 @@
+"""repro-lint: AST-based enforcement of the repo's core invariants.
+
+The properties this reproduction actually stands on — bit-identical
+results across serial/process/distributed backends, seeded-only
+randomness, monotonic-only lease clocks, registry names resolvable in
+remote workers — are exactly the ones no single test can fully cover.
+This subsystem turns each of those (and each past bug class, like the
+PR 6 lease clock-skew fix) into a machine-checked rule.
+
+Architecture
+------------
+* :mod:`repro.analysis.zones` — the zone map: files belong to a
+  ``deterministic``, ``distributed``, or ``free`` enforcement zone.
+* :mod:`repro.analysis.registry` — the :class:`Rule` protocol and the
+  open :func:`register_rule` registry (same idiom as
+  ``register_policy`` / ``register_strategy``).
+* :mod:`repro.analysis.rules` — the six built-ins: ``no-wallclock``,
+  ``seeded-rng``, ``lease-clock``, ``lock-discipline``,
+  ``serialization-safety``, ``no-deprecated-imports``.
+* :mod:`repro.analysis.engine` — one parse per file, zone-matched rule
+  dispatch, inline ``# repro-lint: ignore[rule] -- reason`` pragmas.
+* :mod:`repro.analysis.baseline` — the committed, justification-carrying
+  baseline of grandfathered findings; entries expire when fixed.
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis`` (wired into
+  ``make lint`` and CI with ``--strict``).
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import (
+    AnalysisReport,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.findings import Finding, fingerprinted
+from repro.analysis.registry import (
+    RULE_REGISTRY,
+    FileContext,
+    Rule,
+    iter_rules,
+    register_rule,
+    registered_rules,
+)
+from repro.analysis.zones import ZONE_MAP, Zone, zone_for
+
+# Importing the rules package populates RULE_REGISTRY with the built-ins.
+from repro.analysis import rules as _builtin_rules  # noqa: F401  (registration)
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "RULE_REGISTRY",
+    "Rule",
+    "ZONE_MAP",
+    "Zone",
+    "analyze_paths",
+    "analyze_source",
+    "fingerprinted",
+    "iter_python_files",
+    "iter_rules",
+    "register_rule",
+    "registered_rules",
+    "zone_for",
+]

@@ -1,0 +1,84 @@
+"""Shared AST helpers: dotted names and import-alias resolution.
+
+Rules never match on raw identifier spellings alone — ``import time as
+t; t.time()`` must be caught and a local variable that happens to be
+called ``time`` must not.  :class:`ImportAliases` records what every
+top-level name in a module actually refers to, and :func:`canonical`
+resolves an attribute chain through that map to its importable dotted
+path (``np.random.default_rng`` → ``numpy.random.default_rng``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportAliases", "canonical", "dotted"]
+
+
+def dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``.
+
+    Chains rooted in calls or subscripts (``x().attr``, ``d[k].attr``)
+    are not resolvable to a module path and return ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportAliases(ast.NodeVisitor):
+    """Map of local names to the importable paths they are bound to.
+
+    ``import numpy as np`` binds ``np`` → ``numpy``; ``from time import
+    time`` binds ``time`` → ``time.time``; a relative ``from .x import
+    y`` binds ``y`` → ``.x.y`` (kept distinct so it can never collide
+    with an absolute module path a rule matches on).
+    """
+
+    def __init__(self) -> None:
+        self.names: dict[str, str] = {}
+
+    @classmethod
+    def collect(cls, tree: ast.AST) -> "ImportAliases":
+        aliases = cls()
+        aliases.visit(tree)
+        return aliases
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.names[alias.asname] = alias.name
+            else:
+                # ``import a.b`` binds only ``a`` in the namespace.
+                top = alias.name.split(".", 1)[0]
+                self.names[top] = top
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = "." * node.level + (node.module or "")
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            target = f"{base}.{alias.name}" if base else alias.name
+            self.names[alias.asname or alias.name] = target
+
+
+def canonical(node: ast.expr, aliases: ImportAliases) -> str | None:
+    """The importable dotted path an expression refers to, if knowable.
+
+    Resolves the chain's head through the module's import aliases; a head
+    that was never imported (a local variable, ``self``) yields ``None``
+    rather than a guess.
+    """
+    path = dotted(node)
+    if path is None:
+        return None
+    head, _, rest = path.partition(".")
+    base = aliases.names.get(head)
+    if base is None:
+        return None
+    return f"{base}.{rest}" if rest else base

@@ -1,0 +1,161 @@
+"""The committed findings baseline: grandfathered, justified, expiring.
+
+A baseline entry waives exactly one finding (by fingerprint) and must
+say *why* — loading an entry without a justification is an error, so a
+waiver can never be silently minted.  Matching is by fingerprint (rule +
+path + offending line text + occurrence), so unrelated edits leave
+entries alone, while fixing the violation *expires* its entry: strict
+runs then fail until the stale entry is removed (``--update-baseline``),
+keeping the baseline a shrinking debt list rather than a growing one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.cas import atomic_write_bytes
+
+__all__ = ["Baseline", "BaselineEntry", "DEFAULT_BASELINE_NAME"]
+
+#: Committed at the repo root; ``python -m repro.analysis`` finds it there.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One waived finding and the reason it is waived."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    code: str
+    justification: str
+
+    def to_payload(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "code": self.code,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BaselineEntry":
+        entry = cls(
+            fingerprint=str(payload["fingerprint"]),
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            code=str(payload.get("code", "")),
+            justification=str(payload.get("justification", "")).strip(),
+        )
+        if not entry.justification:
+            raise ValueError(
+                f"baseline entry {entry.fingerprint} ({entry.rule} at "
+                f"{entry.path}) has no justification — every waiver must "
+                "say why"
+            )
+        return entry
+
+    @classmethod
+    def from_finding(cls, finding: Finding, justification: str) -> "BaselineEntry":
+        justification = justification.strip()
+        if not justification:
+            raise ValueError("a baseline entry needs a justification")
+        return cls(
+            fingerprint=finding.fingerprint,
+            rule=finding.rule,
+            path=finding.path,
+            code=finding.code,
+            justification=justification,
+        )
+
+
+class Baseline:
+    """An ordered set of :class:`BaselineEntry`, round-tripping via JSON."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: list[BaselineEntry] = list(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        except ValueError as exc:
+            raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"baseline {path} has format version {version!r}; this "
+                f"tool reads version {_FORMAT_VERSION}"
+            )
+        return cls(
+            BaselineEntry.from_payload(entry)
+            for entry in payload.get("entries", [])
+        )
+
+    def save(self, path: Path | str) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                entry.to_payload()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.fingerprint)
+                )
+            ],
+        }
+        atomic_write_bytes(
+            Path(path), (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        )
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings against the baseline.
+
+        Returns ``(new, waived, expired)``: findings with no entry,
+        findings an entry waives, and entries whose finding no longer
+        exists (fixed code — the entry should be removed).
+        """
+        by_fingerprint = {entry.fingerprint: entry for entry in self.entries}
+        new: list[Finding] = []
+        waived: list[Finding] = []
+        matched: set[str] = set()
+        for finding in findings:
+            if finding.fingerprint in by_fingerprint:
+                waived.append(finding)
+                matched.add(finding.fingerprint)
+            else:
+                new.append(finding)
+        expired = [
+            entry for entry in self.entries if entry.fingerprint not in matched
+        ]
+        return new, waived, expired
+
+    def updated(
+        self, findings: Sequence[Finding], justification: str
+    ) -> "Baseline":
+        """The baseline after grandfathering ``findings`` now.
+
+        Entries still matched by a finding are kept (with their original
+        justifications); unmatched entries expire; findings without an
+        entry are added under ``justification``.
+        """
+        new, waived, _expired = self.partition(findings)
+        by_fingerprint = {entry.fingerprint: entry for entry in self.entries}
+        kept = [by_fingerprint[f.fingerprint] for f in waived]
+        added = [BaselineEntry.from_finding(f, justification) for f in new]
+        return Baseline(kept + added)

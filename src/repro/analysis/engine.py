@@ -1,0 +1,187 @@
+"""The analyzer: parse files, run zone-matched rules, honor pragmas.
+
+One pass parses each file once; every registered rule whose zone set
+contains the file's zone runs over the shared tree.  Findings can be
+suppressed inline with a pragma on the offending line (or the comment
+line directly above it)::
+
+    now = time.time()  # repro-lint: ignore[no-wallclock] -- why it's ok
+
+The pragma names the rule id (or ``*``); everything after ``--`` is the
+justification, kept next to the code it excuses.  Grandfathered findings
+that should *eventually* be fixed belong in the baseline file instead
+(:mod:`repro.analysis.baseline`), which expires entries as they are
+fixed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, fingerprinted
+from repro.analysis.registry import FileContext, iter_rules
+from repro.analysis.zones import Zone, zone_for
+
+__all__ = [
+    "AnalysisReport",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
+
+#: Rule id reserved for files the parser rejects (never registered — a
+#: syntactically broken file can't be rule-checked at all).
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer pass produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0  # pragma-silenced findings
+
+    def to_payload(self) -> dict:
+        return {
+            "findings": [finding.to_payload() for finding in self.findings],
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+        }
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Every ``*.py`` under ``paths`` (files pass through), sorted."""
+    out: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            out.update(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def _pragma_ids(text: str) -> set[str]:
+    match = _PRAGMA.search(text)
+    if not match:
+        return set()
+    return {part.strip() for part in match.group(1).split(",") if part.strip()}
+
+
+def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    """True if the finding's line (or the comment line above) waives it."""
+    candidates = []
+    if 1 <= finding.line <= len(lines):
+        candidates.append(lines[finding.line - 1])
+    above = finding.line - 2
+    if 0 <= above < len(lines) and lines[above].lstrip().startswith("#"):
+        candidates.append(lines[above])
+    for text in candidates:
+        ids = _pragma_ids(text)
+        if finding.rule in ids or "*" in ids:
+            return True
+    return False
+
+
+def _analyze_tree(ctx: FileContext) -> tuple[list[Finding], int]:
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in iter_rules():
+        if ctx.zone not in rule.zones:
+            continue
+        for finding in rule.check(ctx):
+            if _suppressed(finding, ctx.lines):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def analyze_source(
+    source: str, relpath: str, zone: Zone | None = None
+) -> list[Finding]:
+    """Analyze one source string (fixture tests and editor integrations).
+
+    ``zone`` defaults to whatever :func:`zone_for` derives from
+    ``relpath``.  Findings come back fingerprinted and sorted.
+    """
+    zone = zone if zone is not None else zone_for(relpath)
+    lines = tuple(source.splitlines())
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        return fingerprinted(
+            [
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=relpath,
+                    line=line,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                    code=lines[line - 1].strip() if line <= len(lines) else "",
+                )
+            ]
+        )
+    ctx = FileContext(relpath=relpath, zone=zone, tree=tree, lines=lines)
+    kept, _ = _analyze_tree(ctx)
+    return fingerprinted(kept)
+
+
+def analyze_paths(
+    paths: Iterable[Path | str],
+    root: Path | str | None = None,
+    zone: Zone | None = None,
+) -> AnalysisReport:
+    """Analyze every Python file under ``paths``.
+
+    ``root`` anchors the repo-relative paths used in reports and baseline
+    fingerprints (default: the current directory — ``make lint`` runs
+    from the repo root).  ``zone`` forces a single zone for every file
+    (fixture checking); by default each file's zone comes from the zone
+    map.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    report = AnalysisReport()
+    collected: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        file_zone = zone if zone is not None else zone_for(relpath)
+        source = path.read_text(encoding="utf-8")
+        lines = tuple(source.splitlines())
+        report.files_scanned += 1
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            line = exc.lineno or 1
+            collected.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=relpath,
+                    line=line,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                    code=lines[line - 1].strip() if line <= len(lines) else "",
+                )
+            )
+            continue
+        ctx = FileContext(
+            relpath=relpath, zone=file_zone, tree=tree, lines=lines
+        )
+        kept, suppressed = _analyze_tree(ctx)
+        collected.extend(kept)
+        report.suppressed += suppressed
+    report.findings = fingerprinted(collected)
+    return report

@@ -1,0 +1,72 @@
+"""Deprecated-internal-import rule.
+
+``repro.exploration`` became a warn-on-import front for ``repro.search``
+in PR 7; the runtime ``DeprecationWarning`` only fires for whoever
+actually executes the import, while this rule fails the lint for anyone
+*writing* one — so the deprecated surface can only shrink.  The shim
+package itself is exempt (it must import its replacement), as are tests
+that pin the shim's deprecation behavior (tests sit outside the default
+scan roots).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ALL_ZONES, FileContext, Rule, register_rule
+
+__all__ = ["DeprecatedImportRule"]
+
+#: Deprecated module → its replacement (shown in the message).
+DEPRECATED_IMPORTS: dict[str, str] = {
+    "repro.exploration": "repro.search",
+}
+
+
+class DeprecatedImportRule(Rule):
+    """No new imports of deprecated internal modules."""
+
+    id = "no-deprecated-imports"
+    summary = (
+        "src/benchmarks/examples may not import deprecated internal "
+        "modules (repro.exploration -> repro.search)"
+    )
+    zones = ALL_ZONES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for deprecated, replacement in DEPRECATED_IMPORTS.items():
+            # The shim package may (must) reference itself.
+            shim_dir = deprecated.replace(".", "/")
+            if f"/{shim_dir}/" in f"/{ctx.relpath}/":
+                continue
+            yield from self._check_module(ctx, deprecated, replacement)
+
+    def _check_module(
+        self, ctx: FileContext, deprecated: str, replacement: str
+    ) -> Iterator[Finding]:
+        message = (
+            f"import of deprecated {deprecated}: it is a warn-on-import "
+            f"front — import from {replacement} instead"
+        )
+        parent, _, leaf = deprecated.rpartition(".")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                if any(
+                    alias.name == deprecated
+                    or alias.name.startswith(deprecated + ".")
+                    for alias in node.names
+                ):
+                    yield ctx.finding(self.id, node, message)
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                module = node.module or ""
+                if module == deprecated or module.startswith(deprecated + "."):
+                    yield ctx.finding(self.id, node, message)
+                elif module == parent and any(
+                    alias.name == leaf for alias in node.names
+                ):
+                    yield ctx.finding(self.id, node, message)
+
+
+register_rule(DeprecatedImportRule())

@@ -1,0 +1,181 @@
+"""Lock-discipline rule for the threaded broker/transport code.
+
+Two lexical checks over every class in a distributed-zone module:
+
+* **Split-brain writes** — an instance attribute assigned both inside a
+  ``with self._lock:`` block and outside one (``__init__`` excepted:
+  construction happens-before any thread can see the object).  Either
+  the attribute needs the lock everywhere or nowhere; a mix is how
+  torn-state races are born.
+
+* **Blocking under the lock** — sleeping, socket I/O, or file I/O while
+  holding a lock stalls every other thread queued on it for the full
+  I/O latency.  Where that is the *point* (a lock that exists to
+  serialize one shared socket), the finding is baselined with its
+  justification rather than silenced.
+
+The analysis is lexical: a helper method that writes shared state and is
+only ever *called* under the lock is not visible to it.  That is the
+right trade — the rule stays precise on what it can see, and the
+reviewer owns call-graph locking, as before.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import canonical, dotted
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register_rule
+from repro.analysis.zones import Zone
+
+__all__ = ["LockDisciplineRule"]
+
+#: Calls that block by canonical module path.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.check_call",
+        "subprocess.check_output",
+    }
+)
+
+#: Method names that block regardless of receiver (socket and file I/O).
+_BLOCKING_ATTRS = frozenset(
+    {
+        "sleep",
+        "recv",
+        "recv_into",
+        "send",
+        "sendall",
+        "sendto",
+        "accept",
+        "connect",
+        "create_connection",
+        "makefile",
+        "readline",
+        "readlines",
+        "read_text",
+        "read_bytes",
+        "write_text",
+        "write_bytes",
+    }
+)
+
+
+def _is_lock_context(item: ast.withitem) -> bool:
+    path = dotted(item.context_expr)
+    return path is not None and "lock" in path.lower()
+
+
+def _locked_node_ids(func: ast.AST) -> set[int]:
+    """Identities of every AST node lexically inside a with-lock body."""
+    locked: set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+            _is_lock_context(item) for item in node.items
+        ):
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    locked.add(id(sub))
+    return locked
+
+
+def _self_attr_targets(node: ast.stmt) -> list[tuple[str, ast.AST]]:
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    out = []
+    for target in targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            out.append((target.attr, target))
+    return out
+
+
+class LockDisciplineRule(Rule):
+    """Consistent locking of shared attributes; no blocking while held."""
+
+    id = "lock-discipline"
+    summary = (
+        "attributes written both inside and outside `with self._lock`, "
+        "and blocking calls made while holding a lock"
+    )
+    zones = frozenset({Zone.DISTRIBUTED})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(ctx, cls)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        locked_attrs: set[str] = set()
+        unlocked_writes: list[tuple[str, ast.AST]] = []
+        class_has_lock = False
+
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            locked = _locked_node_ids(method)
+            if locked:
+                class_has_lock = True
+            for node in ast.walk(method):
+                if isinstance(
+                    node, (ast.Assign, ast.AugAssign, ast.AnnAssign)
+                ):
+                    for attr, target in _self_attr_targets(node):
+                        if id(target) in locked:
+                            locked_attrs.add(attr)
+                        elif method.name != "__init__":
+                            unlocked_writes.append((attr, node))
+                elif isinstance(node, ast.Call) and id(node) in locked:
+                    blocking = self._blocking_call(ctx, node)
+                    if blocking is not None:
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            f"blocking call {blocking}() while holding a "
+                            "lock: every thread queued on the lock stalls "
+                            "for the full I/O latency — move the I/O "
+                            "outside the critical section or bound it "
+                            "with a timeout and baseline the finding",
+                        )
+
+        if not class_has_lock:
+            return
+        for attr, node in unlocked_writes:
+            if attr in locked_attrs:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"self.{attr} is written both inside and outside "
+                    f"`with ...lock` blocks in {cls.name}: pick one "
+                    "regime — a sometimes-locked attribute is a torn-"
+                    "state race waiting for a scheduler to find it",
+                )
+
+    @staticmethod
+    def _blocking_call(ctx: FileContext, node: ast.Call) -> str | None:
+        target = canonical(node.func, ctx.aliases)
+        if target in _BLOCKING_CALLS:
+            return target
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _BLOCKING_ATTRS:
+            return dotted(func) or func.attr
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "open"
+        return None
+
+
+register_rule(LockDisciplineRule())

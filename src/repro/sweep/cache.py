@@ -310,6 +310,12 @@ class SweepCache:
         removed = 0
         freed = 0
         survivors: list[tuple[Path, os.stat_result]] = []
+        # Entry ages are wall-clock minus on-disk mtime by necessity: prune
+        # runs in a fresh process, so the only shared recency clock is the
+        # filesystem's.  That is fine here — eviction is advisory
+        # housekeeping, skew merely shifts *when* an entry is evicted, and
+        # results never depend on it (a pruned entry is just a recompute).
+        # repro-lint: ignore[no-wallclock] -- advisory LRU ages over on-disk mtimes; results never depend on them
         now = time.time()
         for path, st in entries:
             if older_than is not None and now - st.st_mtime > older_than:

@@ -1,0 +1,8 @@
+"""Bad fixture: imports of the deprecated ``repro.exploration`` front.
+
+Expected findings: no-deprecated-imports x3.
+"""
+
+import repro.exploration.pareto  # noqa: F401
+from repro import exploration  # noqa: F401
+from repro.exploration import DesignSpaceExplorer  # noqa: F401

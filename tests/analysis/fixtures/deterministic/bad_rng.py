@@ -1,0 +1,31 @@
+"""Bad fixture: unseeded and global-state randomness.
+
+Expected findings: seeded-rng x5 (unseeded default_rng, unseeded
+random.Random, random.random draw, random.shuffle draw, legacy
+np.random.rand).
+"""
+
+import random
+
+import numpy as np
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def unseeded_stream():
+    return random.Random()
+
+
+def global_draw() -> float:
+    return random.random()
+
+
+def global_shuffle(items: list) -> list:
+    random.shuffle(items)
+    return items
+
+
+def legacy_numpy():
+    return np.random.rand(4)

@@ -1,0 +1,36 @@
+"""Bad fixture: call-time-only callables into registries/submission.
+
+Expected findings: serialization-safety x3 (lambda to register_policy
+inside a function, local class to register_strategy, local def to
+submit_many via keyword).
+"""
+
+
+def register_policy(name, builder, overwrite=False):  # fixture stand-in
+    return builder
+
+
+def register_strategy(name, cls):  # fixture stand-in
+    return cls
+
+
+def submit_many(scenarios, on_done=None):  # fixture stand-in
+    return scenarios
+
+
+def route_factory(policy_factory):
+    register_policy("factory", lambda sc, kw: policy_factory(), overwrite=True)
+
+
+def register_local_strategy():
+    class LocalStrategy:
+        pass
+
+    register_strategy("local", LocalStrategy)
+
+
+def submit_with_callback(scenarios):
+    def on_done(result):
+        return result
+
+    return submit_many(scenarios, on_done=on_done)

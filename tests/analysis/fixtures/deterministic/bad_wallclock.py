@@ -1,0 +1,26 @@
+"""Bad fixture: ambient clock reads where results must be reproducible.
+
+Expected findings: no-wallclock x4 (time.time, datetime.now,
+time.monotonic via alias, perf_counter via from-import).
+"""
+
+import time
+import time as t
+from datetime import datetime
+from time import perf_counter
+
+
+def epoch_stamp() -> float:
+    return time.time()
+
+
+def run_started() -> str:
+    return datetime.now().isoformat()
+
+
+def dwell() -> float:
+    return t.monotonic()
+
+
+def elapsed() -> float:
+    return perf_counter()

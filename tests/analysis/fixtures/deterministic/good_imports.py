@@ -1,0 +1,4 @@
+"""Good fixture: the replacement surface, not the deprecated front."""
+
+from repro.search import ladder, variants  # noqa: F401
+from repro.search.profiler import WorkProfiler  # noqa: F401

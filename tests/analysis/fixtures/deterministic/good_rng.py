@@ -1,0 +1,27 @@
+"""Good fixture: every stream names its seed."""
+
+import random
+
+import numpy as np
+
+
+def seeded_generator(seed: int):
+    return np.random.default_rng(seed)
+
+
+def seeded_kwarg(seed: int):
+    return np.random.default_rng(seed=seed)
+
+
+def seeded_stream(seed: int):
+    return random.Random(int(seed))
+
+
+def derived_bits(seed: int):
+    # Constructing bit generators with explicit seeds is sanctioned.
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def draw(rng: np.random.Generator, n: int):
+    # Drawing from a passed-in generator is the whole point.
+    return rng.normal(size=n)

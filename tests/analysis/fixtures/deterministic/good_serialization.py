@@ -1,0 +1,23 @@
+"""Good fixture: registrations resolvable from a module import.
+
+Module-level lambdas are allowed — re-importing the module re-registers
+the identical callable, so remote workers resolve it by name.
+"""
+
+
+def register_policy(name, builder, overwrite=False):  # fixture stand-in
+    return builder
+
+
+def build_fixture_policy(sc, kw):
+    return (sc, kw)
+
+
+register_policy("fixture", build_fixture_policy)
+register_policy("fixture-lambda", lambda sc, kw: build_fixture_policy(sc, kw))
+
+
+def register_by_name():
+    # Passing a module-level callable from inside a function is fine:
+    # the name resolves after an import on any host.
+    register_policy("fixture-again", build_fixture_policy, overwrite=True)

@@ -1,0 +1,23 @@
+"""Good fixture: time flows from the scenario, never the process clock.
+
+A locally-defined ``time`` attribute or an injected clock callable must
+not be mistaken for the stdlib module.
+"""
+
+from typing import Callable
+
+
+class Epoch:
+    def __init__(self, horizon: float, interval: float) -> None:
+        self.time = 0.0
+        self.horizon = horizon
+        self.interval = interval
+
+    def advance(self) -> float:
+        self.time += self.interval
+        return self.time
+
+
+def run_epochs(horizon: float, clock: Callable[[], float]) -> float:
+    # An *injected* clock is the sanctioned seam: tests pass a fake.
+    return clock() + horizon

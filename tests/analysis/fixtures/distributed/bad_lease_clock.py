@@ -1,0 +1,25 @@
+"""Bad fixture: the PR 6 clock-skew bug class, reconstructed.
+
+Expected findings: lease-clock x4 (wall-clock read, wall-minus-mtime
+subtraction on the same line counts separately, ordered comparison
+against an mtime, datetime.now in broker code).
+"""
+
+import time
+from datetime import datetime
+
+LEASE_TTL = 30.0
+
+
+def lease_age(path) -> float:
+    # Both the time.time() call and the subtraction are flagged: the
+    # mtime was written by another host's wall clock.
+    return time.time() - path.stat().st_mtime
+
+
+def is_expired(st, now: float) -> bool:
+    return now - LEASE_TTL > st.st_mtime
+
+
+def claim_stamp() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,29 @@
+"""Bad fixture: split-brain attribute locking and blocking under a lock.
+
+Expected findings: lock-discipline x3 (self._generation written with and
+without the lock; sendall and time.sleep inside the critical section).
+"""
+
+import threading
+import time
+
+
+class Broker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._leases: dict[str, str] = {}
+        self._generation = 0
+
+    def claim(self, job_id: str, worker: str) -> None:
+        with self._lock:
+            self._leases[job_id] = worker
+            self._generation += 1
+
+    def reset(self) -> None:
+        # Same attribute, no lock: a torn read is one scheduler slice away.
+        self._generation = 0
+
+    def beat(self, sock, payload: bytes) -> None:
+        with self._lock:
+            sock.sendall(payload)
+            time.sleep(0.1)

@@ -1,0 +1,23 @@
+"""Good fixture: lease age as locally-observed monotonic dwell.
+
+The sanctioned pattern from ``JobSpool.lease_age``: remember the last
+observed mtime, compare later observations for *equality* (did it
+change?), and measure the dwell on the local monotonic clock.
+"""
+
+import time
+
+_seen: dict[str, tuple[int, float]] = {}
+
+
+def lease_age(job_id: str, mtime_ns: int) -> float:
+    now = time.monotonic()
+    seen = _seen.get(job_id)
+    if seen is None or seen[0] != mtime_ns:
+        _seen[job_id] = (mtime_ns, now)
+        return 0.0
+    return now - seen[1]
+
+
+def is_live(age: float, lease_ttl: float) -> bool:
+    return age <= lease_ttl

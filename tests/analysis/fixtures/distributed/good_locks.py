@@ -1,0 +1,25 @@
+"""Good fixture: one locking regime per attribute, I/O outside the lock."""
+
+import threading
+
+
+class Broker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._leases: dict[str, str] = {}
+        self._generation = 0
+
+    def claim(self, job_id: str, worker: str) -> None:
+        with self._lock:
+            self._leases[job_id] = worker
+            self._generation += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._generation = 0
+
+    def beat(self, sock, payload: bytes) -> None:
+        with self._lock:
+            generation = self._generation
+        # The send happens after the critical section.
+        sock.sendall(payload + str(generation).encode())
