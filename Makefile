@@ -49,7 +49,10 @@ lint:
 
 ## Sanity-check the lint fixture corpus: every bad fixture must still
 ## fail its zone's rules, every good fixture must stay clean.  Guards
-## against a rule silently going blind.
+## against a rule silently going blind.  Single files exercise the
+## per-file rules under a forced zone; the directories under
+## fixtures/project/ are miniature projects exercising the cross-file
+## rules (taint chains, lock order, schema drift).
 lint-fixtures:
 	@for f in tests/analysis/fixtures/*/bad_*.py; do \
 		zone=$$(basename $$(dirname $$f)); \
@@ -61,6 +64,16 @@ lint-fixtures:
 		zone=$$(basename $$(dirname $$f)); \
 		if ! $(PY) -m repro.analysis --no-baseline --zone $$zone $$f >/dev/null; then \
 			echo "lint-fixtures: $$f unexpectedly failed"; exit 1; \
+		fi; \
+	done
+	@for d in tests/analysis/fixtures/project/bad_*/; do \
+		if $(PY) -m repro.analysis --no-baseline --no-cache --root $$d $$d >/dev/null; then \
+			echo "lint-fixtures: $$d unexpectedly passed"; exit 1; \
+		fi; \
+	done
+	@for d in tests/analysis/fixtures/project/good_*/; do \
+		if ! $(PY) -m repro.analysis --no-baseline --no-cache --root $$d $$d >/dev/null; then \
+			echo "lint-fixtures: $$d unexpectedly failed"; exit 1; \
 		fi; \
 	done
 	@echo "lint-fixtures: ok"

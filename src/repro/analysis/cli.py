@@ -28,11 +28,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.analysis.engine import analyze_paths
-from repro.analysis.registry import RULE_REGISTRY, registered_rules
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.dataflow import build_lock_graph, lock_graph_dot
+from repro.analysis.engine import analyze_paths, iter_python_files
+from repro.analysis.incremental import AnalysisCache, resolve_cache
+from repro.analysis.registry import (
+    PROJECT_RULE_REGISTRY,
+    RULE_REGISTRY,
+    registered_rules,
+)
+from repro.analysis.sarif import to_sarif
 from repro.analysis.zones import Zone, zone_for
 
 __all__ = ["build_parser", "main"]
@@ -56,9 +65,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        metavar="PATH",
+        default=None,
+        help=(
+            "additionally write a SARIF 2.1.0 log of the new findings to "
+            "PATH (for GitHub code scanning); does not change the exit code"
+        ),
     )
     parser.add_argument(
         "--strict",
@@ -102,6 +121,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="base directory for reported paths (default: cwd)",
     )
     parser.add_argument(
+        "--cache",
+        type=Path,
+        metavar="DIR",
+        default=None,
+        help=(
+            "incremental-cache directory (default: <root>/.repro-lint-cache, "
+            "or $REPRO_LINT_CACHE; set REPRO_LINT_CACHE=off to disable)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache for this run",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every registered rule and exit",
@@ -112,14 +146,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print the enforcement zone of one path and exit",
     )
+    parser.add_argument(
+        "--graph",
+        choices=("dot", "lock-dot"),
+        default=None,
+        help=(
+            "instead of linting, dump the project call graph (dot) or the "
+            "lock-order graph (lock-dot) in GraphViz format and exit"
+        ),
+    )
     return parser
 
 
 def _print_rules(out) -> None:
     for rule_id in registered_rules():
-        rule = RULE_REGISTRY[rule_id]
-        zones = ",".join(sorted(zone.value for zone in rule.zones))
-        print(f"{rule_id:24s} [{zones}] {rule.summary}", file=out)
+        rule = RULE_REGISTRY.get(rule_id)
+        if rule is not None:
+            scope = ",".join(sorted(zone.value for zone in rule.zones))
+        else:
+            rule = PROJECT_RULE_REGISTRY[rule_id]
+            scope = "project"
+        print(f"{rule_id:24s} [{scope}] {rule.summary}", file=out)
+
+
+def _dump_graph(kind: str, paths, root, zone, out) -> int:
+    """Summarize the project and print a GraphViz graph (no linting)."""
+    import ast
+
+    from repro.analysis.engine import build_waivers
+    from repro.analysis.symbols import SymbolTable, summarize_module
+
+    root = Path(root) if root is not None else Path.cwd()
+    summaries = []
+    for path in iter_python_files(paths):
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        lines = tuple(source.splitlines())
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue
+        summaries.append(
+            summarize_module(
+                tree,
+                relpath,
+                lines,
+                zone=zone,
+                waivers=build_waivers(tree, lines),
+            )
+        )
+    table = SymbolTable(summaries)
+    graph = CallGraph.build(table)
+    if kind == "lock-dot":
+        print(lock_graph_dot(build_lock_graph(table, graph)), end="", file=out)
+    else:
+        print(graph.to_dot(), end="", file=out)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -140,7 +225,17 @@ def main(argv=None) -> int:
     if not paths:
         parser.error("no paths given and none of the default roots exist")
     zone = Zone(args.zone) if args.zone else None
-    report = analyze_paths(paths, root=args.root, zone=zone)
+    if args.graph is not None:
+        return _dump_graph(args.graph, paths, args.root, zone, out)
+    if args.no_cache:
+        cache = None
+    elif args.cache is not None:
+        cache = AnalysisCache(args.cache)
+    else:
+        cache = resolve_cache(args.root or Path.cwd())
+    started = time.monotonic()
+    report = analyze_paths(paths, root=args.root, zone=zone, cache=cache)
+    elapsed = time.monotonic() - started
 
     baseline_path = args.baseline or Path(DEFAULT_BASELINE_NAME)
     if args.no_baseline:
@@ -170,6 +265,14 @@ def main(argv=None) -> int:
         return 0
 
     failed = bool(new) or (args.strict and bool(expired))
+    if args.sarif is not None:
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(
+            json.dumps(to_sarif(new), indent=2) + "\n", encoding="utf-8"
+        )
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(new), indent=2), file=out)
+        return 1 if failed else 0
     if args.format == "json":
         payload = {
             "findings": [finding.to_payload() for finding in new],
@@ -177,6 +280,9 @@ def main(argv=None) -> int:
             "expired": [entry.to_payload() for entry in expired],
             "files_scanned": report.files_scanned,
             "suppressed": report.suppressed,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "wall_time_s": round(elapsed, 3),
             "rules": list(registered_rules()),
             "ok": not failed,
         }
@@ -187,6 +293,8 @@ def main(argv=None) -> int:
         print(f"{finding.location}: {finding.rule}: {finding.message}", file=out)
         if finding.code:
             print(f"    {finding.code}", file=out)
+        if finding.chain:
+            print(f"    chain: {finding.render_chain()}", file=out)
     for entry in expired:
         print(
             f"{entry.path}: expired baseline entry {entry.fingerprint} "
@@ -195,11 +303,16 @@ def main(argv=None) -> int:
             file=out,
         )
     status = "FAILED" if failed else "ok"
+    cache_note = (
+        f", cache {report.cache_hits} hit(s)/{report.cache_misses} miss(es)"
+        if cache is not None
+        else ""
+    )
     print(
         f"repro-lint: {status} — {len(new)} new finding(s), "
         f"{len(waived)} baselined, {len(expired)} expired entr(y/ies), "
         f"{report.suppressed} pragma-waived, {report.files_scanned} "
-        f"file(s) scanned",
+        f"file(s) scanned in {elapsed:.2f}s{cache_note}",
         file=out,
     )
     return 1 if failed else 0

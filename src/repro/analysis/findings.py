@@ -19,7 +19,15 @@ __all__ = ["Finding", "fingerprinted"]
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation, pinned to a source line."""
+    """One rule violation, pinned to a source line.
+
+    Interprocedural findings additionally carry a ``chain``: the call
+    path from the flagged location down to the underlying source, as
+    ``(label, path, line)`` hops.  The chain's labels and paths join the
+    fingerprint (line numbers do not — moving a chain must not expire a
+    baseline entry, rerouting it must); chainless findings keep the
+    exact PR 8 fingerprint recipe so existing baselines stay stable.
+    """
 
     rule: str
     path: str  # repo-relative posix path, as reported and baselined
@@ -28,13 +36,20 @@ class Finding:
     message: str
     code: str  # stripped source line text (fingerprint ingredient)
     fingerprint: str = ""
+    chain: tuple[tuple[str, str, int], ...] = ()
 
     @property
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
 
+    def render_chain(self) -> str:
+        """``a (p:1) -> b (q:2)`` rendering, empty for chainless findings."""
+        return " -> ".join(
+            f"{label} ({path}:{line})" for label, path, line in self.chain
+        )
+
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -43,6 +58,24 @@ class Finding:
             "code": self.code,
             "fingerprint": self.fingerprint,
         }
+        if self.chain:
+            payload["chain"] = [list(hop) for hop in self.chain]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Finding":
+        return cls(
+            rule=payload["rule"],
+            path=payload["path"],
+            line=payload["line"],
+            col=payload["col"],
+            message=payload["message"],
+            code=payload["code"],
+            fingerprint=payload.get("fingerprint", ""),
+            chain=tuple(
+                (hop[0], hop[1], hop[2]) for hop in payload.get("chain", ())
+            ),
+        )
 
 
 def _sort_key(finding: Finding) -> tuple:
@@ -62,18 +95,22 @@ def fingerprinted(findings: Iterable[Finding]) -> list[Finding]:
         key = (finding.rule, finding.path, finding.code)
         index = counts.get(key, 0)
         counts[key] = index + 1
+        ingredients: dict = {
+            "rule": finding.rule,
+            "path": finding.path,
+            "code": finding.code,
+            "occurrence": index,
+        }
+        if finding.chain:
+            # Labels and paths only: a chain that merely shifts lines is
+            # the same violation; one that routes differently is not.
+            ingredients["chain"] = [
+                [label, path] for label, path, _line in finding.chain
+            ]
         out.append(
             replace(
                 finding,
-                fingerprint=stable_hash(
-                    {
-                        "rule": finding.rule,
-                        "path": finding.path,
-                        "code": finding.code,
-                        "occurrence": index,
-                    },
-                    length=16,
-                ),
+                fingerprint=stable_hash(ingredients, length=16),
             )
         )
     return out

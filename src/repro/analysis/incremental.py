@@ -1,0 +1,196 @@
+"""Incremental analysis: a content-addressed per-file result cache.
+
+The analyzer's work per file is a pure function of (analyzer code, file
+path, enforcement zone, file bytes) — so the cache key is exactly that
+hash, built on :func:`repro.cas.stable_hash` like every other
+content-addressed artifact in this repo.  A cache entry stores the
+file's per-file findings, its suppression count, its pragma-waiver map,
+and its :class:`~repro.analysis.symbols.ModuleSummary`; a warm run
+re-parses only files whose bytes changed and rebuilds the project pass
+from cached summaries.
+
+On top of the per-file entries sits one *state* record per (root, zone)
+pair: the exact file→key map of the last clean run plus its final
+findings.  When nothing at all changed, the engine returns those
+findings verbatim without parsing a single file or building the call
+graph — that fast path is what makes warm ``make lint`` a different
+order of magnitude from cold.
+
+The ``REPRO_LINT_CACHE`` environment variable points the cache at a
+directory (default ``<root>/.repro-lint-cache``); setting it to ``off``
+or ``0`` disables caching entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.cas import atomic_write_bytes, stable_hash
+
+__all__ = [
+    "AnalysisCache",
+    "analyzer_signature",
+    "resolve_cache",
+    "reverse_cone",
+]
+
+_CACHE_ENV = "REPRO_LINT_CACHE"
+_DISABLED = frozenset({"off", "0", "false", "no", "none"})
+
+#: Memoized per rule-set: hashing the analyzer's own source is cheap but
+#: not free, and every file key includes it.
+_signature_memo: dict[tuple[str, ...], str] = {}
+
+
+def analyzer_signature() -> str:
+    """Hash of the analyzer's own source plus the active rule set.
+
+    Any edit to ``repro/analysis`` (a rule tweak, a new message) or any
+    change in which rules are registered invalidates every cached
+    result — stale findings from an older analyzer must never survive.
+    """
+    from repro.analysis.registry import registered_rules
+
+    rules = registered_rules()
+    memo = _signature_memo.get(rules)
+    if memo is not None:
+        return memo
+    package = Path(__file__).resolve().parent
+    sources: dict[str, str] = {}
+    for path in sorted(package.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        sources[path.relative_to(package).as_posix()] = hashlib.sha256(
+            path.read_bytes()
+        ).hexdigest()
+    signature = stable_hash({"sources": sources, "rules": list(rules)})
+    _signature_memo[rules] = signature
+    return signature
+
+
+def resolve_cache(
+    root: Path | str, env: Mapping[str, str] | None = None
+) -> "AnalysisCache | None":
+    """The cache the CLI should use, honoring ``REPRO_LINT_CACHE``."""
+    value = (env if env is not None else os.environ).get(_CACHE_ENV, "")
+    if value.strip().lower() in _DISABLED:
+        return None
+    if value.strip():
+        return AnalysisCache(Path(value.strip()))
+    return AnalysisCache(Path(root) / ".repro-lint-cache")
+
+
+class AnalysisCache:
+    """Content-hash keyed store of per-file results and run states.
+
+    ``hits``/``misses`` count per-file lookups in this process — the
+    observable the incremental tests (and the CLI's timing report)
+    assert against.
+    """
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    # -- per-file entries ----------------------------------------------
+
+    def file_key(self, relpath: str, zone: str, data: bytes) -> str:
+        return stable_hash(
+            {
+                "signature": analyzer_signature(),
+                "relpath": relpath,
+                "zone": zone,
+                "content": hashlib.sha256(data).hexdigest(),
+            }
+        )
+
+    def load_entry(self, key: str) -> dict | None:
+        try:
+            payload = json.loads(
+                (self.directory / f"{key}.json").read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store_entry(self, key: str, payload: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(
+            self.directory / f"{key}.json",
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+        )
+
+    # -- whole-run state -----------------------------------------------
+
+    def _state_path(self, root: Path, zone: str) -> Path:
+        key = stable_hash(
+            {"root": str(Path(root).resolve()), "zone": zone}, length=16
+        )
+        return self.directory / f"state-{key}.json"
+
+    def load_state(self, root: Path, zone: str) -> dict | None:
+        try:
+            payload = json.loads(
+                self._state_path(root, zone).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        if payload.get("signature") != analyzer_signature():
+            return None
+        return payload
+
+    def store_state(self, root: Path, zone: str, payload: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"signature": analyzer_signature(), **payload}
+        atomic_write_bytes(
+            self._state_path(root, zone),
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+        )
+
+
+def reverse_cone(
+    summaries: Iterable, changed_relpaths: Iterable[str]
+) -> frozenset[str]:
+    """``changed`` plus every file that (transitively) imports one.
+
+    The import relation is matched on module-name prefixes in both
+    directions (``from pkg import sub`` records ``pkg`` even when the
+    change is in ``pkg.sub``), deliberately over-approximating: a file
+    wrongly *in* the cone costs a re-check, one wrongly outside could
+    hide a finding.
+    """
+    summaries = list(summaries)
+    affected_paths = set(changed_relpaths)
+    affected_modules = {
+        s.module for s in summaries if s.relpath in affected_paths
+    }
+
+    def related(imported: str, module: str) -> bool:
+        return (
+            imported == module
+            or imported.startswith(module + ".")
+            or module.startswith(imported + ".")
+        )
+
+    changed = True
+    while changed:
+        changed = False
+        for summary in summaries:
+            if summary.relpath in affected_paths:
+                continue
+            if any(
+                related(imported, module)
+                for imported in summary.imported_modules
+                for module in affected_modules
+            ):
+                affected_paths.add(summary.relpath)
+                affected_modules.add(summary.module)
+                changed = True
+    return frozenset(affected_paths)

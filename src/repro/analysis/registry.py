@@ -26,8 +26,11 @@ from repro.analysis.zones import Zone
 __all__ = [
     "ALL_ZONES",
     "FileContext",
+    "PROJECT_RULE_REGISTRY",
+    "ProjectRule",
     "RULE_REGISTRY",
     "Rule",
+    "iter_project_rules",
     "iter_rules",
     "register_rule",
     "registered_rules",
@@ -94,34 +97,86 @@ class Rule(ABC):
         return f"{type(self).__name__}(id={self.id!r})"
 
 
+class ProjectRule(ABC):
+    """One machine-checked *whole-program* invariant.
+
+    Where a :class:`Rule` sees one file at a time, a project rule sees
+    the stitched-together view of every analyzed file — a
+    :class:`~repro.analysis.callgraph.ProjectContext` holding the symbol
+    table and call graph — and yields findings that may span files (via
+    ``Finding.chain``).  Project rules run once per analysis pass, after
+    every file has been summarized.
+
+    ``incremental`` declares whether a warm run may carry this rule's
+    findings forward for files outside the changed set's dependency
+    cone; rules whose findings depend on genuinely global structure
+    (lock cycles) set it ``False`` and are recomputed every pass.
+    """
+
+    #: Stable identifier used in reports, pragmas, and baseline entries.
+    id: str = "abstract"
+    #: One-line description shown by ``--list-rules``.
+    summary: str = ""
+    #: Whether cached findings may be carried across warm runs.
+    incremental: bool = True
+
+    @abstractmethod
+    def check(self, ctx) -> Iterator[Finding]:
+        """Yield every violation visible in the project context."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(id={self.id!r})"
+
+
 #: Backing store for :func:`register_rule` — prefer the function over
 #: mutating this dict directly.
 RULE_REGISTRY: dict[str, Rule] = {}
 
+#: Project-wide rules, registered separately: the analyzer runs them
+#: once per pass, not once per file.
+PROJECT_RULE_REGISTRY: dict[str, ProjectRule] = {}
 
-def register_rule(rule: Rule, overwrite: bool = False) -> Rule:
+
+def register_rule(
+    rule: Rule | ProjectRule, overwrite: bool = False
+) -> Rule | ProjectRule:
     """Register ``rule`` under its ``id`` so the analyzer runs it.
 
-    Returns ``rule`` so subclass definitions can chain registration.
+    Per-file :class:`Rule` and whole-program :class:`ProjectRule`
+    instances land in separate registries but share the id namespace —
+    a pragma or baseline entry never needs to know which kind produced
+    a finding.  Returns ``rule`` so definitions can chain registration.
     """
-    if not isinstance(rule, Rule):
+    if not isinstance(rule, (Rule, ProjectRule)):
         raise TypeError(f"expected a Rule instance, got {type(rule).__name__}")
     if not rule.id or rule.id == "abstract":
         raise ValueError(f"rule {rule!r} must define a stable id")
-    if not overwrite and rule.id in RULE_REGISTRY:
+    if not overwrite and (
+        rule.id in RULE_REGISTRY or rule.id in PROJECT_RULE_REGISTRY
+    ):
         raise ValueError(
             f"rule {rule.id!r} is already registered; pass overwrite=True "
             "to replace it"
         )
-    RULE_REGISTRY[rule.id] = rule
+    if isinstance(rule, ProjectRule):
+        PROJECT_RULE_REGISTRY[rule.id] = rule
+    else:
+        RULE_REGISTRY[rule.id] = rule
     return rule
 
 
 def registered_rules() -> tuple[str, ...]:
-    """Sorted ids of every registered rule."""
-    return tuple(sorted(RULE_REGISTRY))
+    """Sorted ids of every registered rule, per-file and project-wide."""
+    return tuple(sorted({*RULE_REGISTRY, *PROJECT_RULE_REGISTRY}))
 
 
 def iter_rules() -> tuple[Rule, ...]:
-    """Every registered rule, in id order."""
-    return tuple(RULE_REGISTRY[name] for name in registered_rules())
+    """Every registered per-file rule, in id order."""
+    return tuple(RULE_REGISTRY[name] for name in sorted(RULE_REGISTRY))
+
+
+def iter_project_rules() -> tuple[ProjectRule, ...]:
+    """Every registered project rule, in id order."""
+    return tuple(
+        PROJECT_RULE_REGISTRY[name] for name in sorted(PROJECT_RULE_REGISTRY)
+    )

@@ -13,37 +13,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.analysis.astutil import canonical
 from repro.analysis.findings import Finding
 from repro.analysis.registry import FileContext, Rule, register_rule
+from repro.analysis.sources import rng_violation
 from repro.analysis.zones import Zone
 
 __all__ = ["SeededRngRule"]
-
-#: Constructors that are fine *if* they take an explicit seed argument.
-_SEEDED_CONSTRUCTORS = frozenset({"numpy.random.default_rng", "random.Random"})
-
-#: Seed parameter names accepted by the constructors above.
-_SEED_KWARGS = frozenset({"seed", "x"})
-
-#: ``numpy.random`` attributes that do not touch the legacy global state.
-_NUMPY_ALLOWED = frozenset(
-    {
-        "numpy.random.default_rng",
-        "numpy.random.Generator",
-        "numpy.random.SeedSequence",
-        "numpy.random.BitGenerator",
-        "numpy.random.PCG64",
-        "numpy.random.PCG64DXSM",
-        "numpy.random.Philox",
-        "numpy.random.SFC64",
-        "numpy.random.MT19937",
-    }
-)
-
-#: ``random`` module attributes that construct independent streams rather
-#: than drawing from the module-level global generator.
-_RANDOM_ALLOWED = frozenset({"random.Random", "random.SystemRandom"})
 
 
 class SeededRngRule(Rule):
@@ -60,45 +35,9 @@ class SeededRngRule(Rule):
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
-            target = canonical(node.func, ctx.aliases)
-            if target is None:
-                continue
-            if target in _SEEDED_CONSTRUCTORS:
-                seeded = bool(node.args) or any(
-                    kw.arg in _SEED_KWARGS for kw in node.keywords
-                )
-                if not seeded:
-                    yield ctx.finding(
-                        self.id,
-                        node,
-                        f"{target}() without an explicit seed: the stream "
-                        "is OS-entropy-seeded and the result can never be "
-                        "reproduced — derive the seed from the scenario "
-                        "(see repro.rng)",
-                    )
-            elif (
-                target.startswith("numpy.random.")
-                and target not in _NUMPY_ALLOWED
-            ):
-                yield ctx.finding(
-                    self.id,
-                    node,
-                    f"{target}() draws from numpy's hidden module-level "
-                    "generator: shared mutable state makes results depend "
-                    "on call order across the whole process — use "
-                    "numpy.random.default_rng(seed)",
-                )
-            elif (
-                target.startswith("random.")
-                and target not in _RANDOM_ALLOWED
-            ):
-                yield ctx.finding(
-                    self.id,
-                    node,
-                    f"{target}() draws from the random module's global "
-                    "state: results depend on every other draw in the "
-                    "process — construct random.Random(seed) instead",
-                )
+            violation = rng_violation(node, ctx.aliases)
+            if violation is not None:
+                yield ctx.finding(self.id, node, violation[1])
 
 
 register_rule(SeededRngRule())

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 output: findings as GitHub code-scanning results.
+
+One run, one tool (``repro-lint``), one result per *new* finding —
+baselined and pragma-waived findings are already accepted debt and do
+not belong in a PR annotation.  Each result carries the finding's
+fingerprint as a ``partialFingerprints`` entry (so GitHub deduplicates
+across pushes exactly as the baseline does) and, for chain-shaped
+findings, a ``codeFlows`` thread walking the call chain from the
+boundary down to the nondeterminism source.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import PROJECT_RULE_REGISTRY, RULE_REGISTRY
+
+__all__ = ["to_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_metadata(rule_ids: Iterable[str]) -> list[dict]:
+    rules = []
+    for rule_id in sorted(set(rule_ids)):
+        rule = RULE_REGISTRY.get(rule_id) or PROJECT_RULE_REGISTRY.get(rule_id)
+        description = rule.summary if rule is not None else rule_id
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": description or rule_id},
+            }
+        )
+    return rules
+
+
+def _location(path: str, line: int, col: int = 0) -> dict:
+    region: dict = {"startLine": max(1, line)}
+    if col:
+        region["startColumn"] = col + 1  # SARIF columns are 1-based
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path, "uriBaseId": "SRCROOT"},
+            "region": region,
+        }
+    }
+
+
+def _code_flow(finding: Finding) -> dict:
+    return {
+        "threadFlows": [
+            {
+                "locations": [
+                    {
+                        "location": {
+                            **_location(path, line),
+                            "message": {"text": label},
+                        }
+                    }
+                    for label, path, line in finding.chain
+                ]
+            }
+        ]
+    }
+
+
+def to_sarif(findings: Sequence[Finding]) -> dict:
+    """The SARIF log (as a JSON-ready dict) for ``findings``."""
+    results = []
+    for finding in findings:
+        result: dict = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [_location(finding.path, finding.line, finding.col)],
+            "partialFingerprints": {
+                "reproLintFingerprint/v1": finding.fingerprint
+            },
+        }
+        if finding.chain:
+            result["codeFlows"] = [_code_flow(finding)]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rule_metadata(f.rule for f in findings),
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"}
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+import functools
 import itertools
 import warnings
 from dataclasses import dataclass
@@ -59,6 +60,19 @@ def _config_base(base: ColocationConfig) -> dict:
     }
 
 
+def _build_from_factory(policy_factory, scenario, kwargs):
+    """Module-level adapter from a legacy zero-arg factory to a builder.
+
+    Policy builders take ``(scenario, kwargs)``; the legacy factories
+    take nothing.  Binding the factory with :func:`functools.partial`
+    (instead of a closure/lambda) keeps the registered builder
+    picklable, so a transient factory registration degrades exactly like
+    any other local-only policy rather than poisoning a process-pool
+    submission with an unpicklable callable.
+    """
+    return policy_factory()
+
+
 def _factory_policy_name(policy_factory, engine: SweepEngine) -> str:
     """Route a legacy ``policy_factory`` through the policy registry.
 
@@ -98,7 +112,11 @@ def _factory_policy_name(policy_factory, engine: SweepEngine) -> str:
         DeprecationWarning,
         stacklevel=3,
     )
-    register_policy(name, lambda sc, kw: policy_factory(), overwrite=True)
+    register_policy(
+        name,
+        functools.partial(_build_from_factory, policy_factory),
+        overwrite=True,
+    )
     return name
 
 

@@ -1,0 +1,11 @@
+"""Half of an import cycle, plus a pure re-export cycle (``broken``)."""
+
+from lib.beta import broken, pong  # noqa: F401
+
+
+def ping():
+    return pong()
+
+
+def dead():
+    return broken()

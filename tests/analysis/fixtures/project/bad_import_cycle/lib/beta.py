@@ -1,0 +1,9 @@
+"""Other half of the cycle: imports straight back into alpha."""
+
+import time
+
+from lib.alpha import broken, ping  # noqa: F401  (cycle on purpose)
+
+
+def pong():
+    return time.time()

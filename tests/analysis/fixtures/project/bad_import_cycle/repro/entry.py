@@ -1,0 +1,7 @@
+"""Deterministic caller through a cyclic import pair."""
+
+from lib.alpha import ping
+
+
+def run():
+    return ping()

@@ -1,0 +1,17 @@
+"""Distributed spool: holds SPOOL_LOCK, then takes the wire lock."""
+
+import threading
+
+from repro.sweep.backends.wire import send_locked
+
+SPOOL_LOCK = threading.Lock()
+
+
+def flush():
+    with SPOOL_LOCK:
+        send_locked()
+
+
+def flush_locked():
+    with SPOOL_LOCK:
+        pass

@@ -1,0 +1,17 @@
+"""Distributed wire layer: holds WIRE_LOCK, then takes the spool lock."""
+
+import threading
+
+from repro.sweep.backends.spool import flush_locked
+
+WIRE_LOCK = threading.Lock()
+
+
+def send_locked():
+    with WIRE_LOCK:
+        pass
+
+
+def drain():
+    with WIRE_LOCK:
+        flush_locked()

@@ -1,0 +1,3 @@
+"""Facade re-exporting the implementation under a new name."""
+
+from lib.impl import now as now_alias  # noqa: F401  (re-export)

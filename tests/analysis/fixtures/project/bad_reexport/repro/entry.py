@@ -1,0 +1,7 @@
+"""Deterministic caller of a re-exported clock helper."""
+
+from lib.api import now_alias
+
+
+def run():
+    return now_alias()

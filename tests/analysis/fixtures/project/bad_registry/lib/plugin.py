@@ -1,0 +1,12 @@
+"""Free-zone plugin registered into the deterministic dispatcher."""
+
+import time
+
+from repro.engine import register_policy
+
+
+def build(scenario, kwargs):
+    return time.time()
+
+
+register_policy("wallclock", build)

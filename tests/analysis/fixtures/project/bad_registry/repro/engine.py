@@ -1,0 +1,11 @@
+"""Deterministic dispatcher over the policy registry."""
+
+POLICY_REGISTRY = {}
+
+
+def register_policy(name, builder):
+    POLICY_REGISTRY[name] = builder
+
+
+def make(name):
+    return POLICY_REGISTRY[name]()

@@ -1,0 +1,23 @@
+"""Payload methods that drifted away from the field list."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    name: str
+    retries: int = 0
+    tag: str = "latest"
+
+    def key_payload(self):
+        payload = {"name": self.name}
+        if self.tag != "stable":
+            payload["tag"] = self.tag
+        return payload
+
+    def to_payload(self):
+        return {"name": self.name, "retries": self.retries, "tag": self.tag}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(name=payload["name"], retries=payload.get("retries", 0))

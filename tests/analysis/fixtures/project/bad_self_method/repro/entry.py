@@ -1,0 +1,7 @@
+"""Deterministic caller reaching a clock through method resolution."""
+
+from lib.timer import reading
+
+
+def run():
+    return reading()

@@ -1,0 +1,7 @@
+"""Deterministic entrypoint two call-edges from a wall clock."""
+
+from lib.util import helper
+
+
+def simulate(ticks):
+    return helper(ticks)

@@ -1,0 +1,7 @@
+"""Deterministic entrypoint reaching the global RNG transitively."""
+
+from lib.noise import jitter
+
+
+def plan(n):
+    return jitter(n)

@@ -1,0 +1,22 @@
+"""Locks always taken in the same global order: no cycle."""
+
+import threading
+
+A_LOCK = threading.Lock()
+B_LOCK = threading.Lock()
+
+
+def outer():
+    with A_LOCK:
+        inner()
+
+
+def inner():
+    with B_LOCK:
+        pass
+
+
+def outer_again():
+    with A_LOCK:
+        with B_LOCK:
+            pass

@@ -1,0 +1,19 @@
+"""Payload methods that agree with the field list."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    name: str
+    retries: int = 0
+
+    def key_payload(self):
+        return {"name": self.name, "retries": self.retries}
+
+    def to_payload(self):
+        return {"name": self.name, "retries": self.retries}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(name=payload["name"], retries=payload["retries"])

@@ -1,0 +1,7 @@
+"""Free-zone helper in the middle of the (waived) chain."""
+
+from lib.deep import now
+
+
+def helper(ticks):
+    return now() + ticks

@@ -1,0 +1,7 @@
+"""Deterministic entrypoint whose only source is pragma-waived."""
+
+from lib.util import helper
+
+
+def simulate(ticks):
+    return helper(ticks)

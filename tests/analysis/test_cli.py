@@ -1,6 +1,7 @@
 """The ``python -m repro.analysis`` entrypoint: exit codes and formats."""
 
 import json
+import re
 from pathlib import Path
 
 import pytest
@@ -11,6 +12,9 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 BAD_FIXTURES = sorted(FIXTURES.glob("*/bad_*.py"))
 GOOD_FIXTURES = sorted(FIXTURES.glob("*/good_*.py"))
+
+BAD_PROJECTS = sorted(FIXTURES.glob("project/bad_*"))
+GOOD_PROJECTS = sorted(FIXTURES.glob("project/good_*"))
 
 
 def run(*argv: str) -> int:
@@ -31,6 +35,34 @@ def test_bad_fixtures_exit_nonzero(fixture):
 def test_good_fixtures_exit_zero(fixture):
     zone = fixture.parent.name
     assert run("--no-baseline", "--zone", zone, str(fixture)) == 0
+
+
+@pytest.mark.parametrize("project", BAD_PROJECTS, ids=lambda p: p.name)
+def test_bad_projects_exit_nonzero(project):
+    assert (
+        run(
+            "--no-baseline",
+            "--no-cache",
+            "--root",
+            str(project),
+            str(project),
+        )
+        == 1
+    )
+
+
+@pytest.mark.parametrize("project", GOOD_PROJECTS, ids=lambda p: p.name)
+def test_good_projects_exit_zero(project):
+    assert (
+        run(
+            "--no-baseline",
+            "--no-cache",
+            "--root",
+            str(project),
+            str(project),
+        )
+        == 0
+    )
 
 
 def test_json_format_is_machine_readable(capsys):
@@ -71,8 +103,77 @@ def test_list_rules(capsys):
         "lock-discipline",
         "serialization-safety",
         "no-deprecated-imports",
+        "transitive-wallclock",
+        "transitive-rng",
+        "lock-order",
+        "spec-schema-drift",
     ):
         assert rule_id in out
+    # Cross-file rules are marked with the project scope, not a zone.
+    assert re.search(r"transitive-wallclock\s+\[project\]", out)
+
+
+def test_text_output_renders_the_chain(capsys):
+    project = FIXTURES / "project" / "bad_taint_chain"
+    run("--no-baseline", "--no-cache", "--root", str(project), str(project))
+    out = capsys.readouterr().out
+    assert "chain: repro.entry.simulate (repro/entry.py:7) -> " in out
+
+
+def test_json_output_reports_cache_and_timing(tmp_path, capsys):
+    project = FIXTURES / "project" / "good_schema"
+    argv = (
+        "--no-baseline",
+        "--cache",
+        str(tmp_path / "cache"),
+        "--format",
+        "json",
+        "--root",
+        str(project),
+        str(project),
+    )
+    assert run(*argv) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert (cold["cache_hits"], cold["cache_misses"]) == (0, 1)
+    assert cold["wall_time_s"] >= 0
+    assert run(*argv) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert (warm["cache_hits"], warm["cache_misses"]) == (1, 0)
+
+
+_DOT_BODY = re.compile(
+    r'^  (rankdir=LR;|"[^"]+";|"[^"]+" -> "[^"]+"( \[[^\]]+\])?;)$'
+)
+
+
+def _assert_parses_as_dot(out: str, name: str) -> list[str]:
+    lines = out.splitlines()
+    assert lines[0] == f"digraph {name} {{"
+    assert lines[-1] == "}"
+    for line in lines[1:-1]:
+        assert _DOT_BODY.match(line), line
+    return lines
+
+
+def test_graph_dot_dumps_the_call_graph(capsys):
+    project = FIXTURES / "project" / "bad_taint_chain"
+    assert run("--graph", "dot", "--root", str(project), str(project)) == 0
+    lines = _assert_parses_as_dot(capsys.readouterr().out, "callgraph")
+    assert '  "repro.entry.simulate" -> "lib.util.helper";' in lines
+    assert '  "lib.util.helper" -> "lib.deep.now";' in lines
+
+
+def test_graph_lock_dot_dumps_the_lock_order_graph(capsys):
+    project = FIXTURES / "project" / "bad_lock_cycle"
+    assert (
+        run("--graph", "lock-dot", "--root", str(project), str(project)) == 0
+    )
+    out = capsys.readouterr().out
+    _assert_parses_as_dot(out, "lockorder")
+    assert (
+        '"repro.sweep.backends.spool.SPOOL_LOCK" -> '
+        '"repro.sweep.backends.wire.WIRE_LOCK"' in out
+    )
 
 
 def test_zone_of(capsys):

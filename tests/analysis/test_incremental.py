@@ -1,0 +1,197 @@
+"""The incremental engine: content-hash cache, warm path, reverse cone."""
+
+import ast
+import time
+from pathlib import Path
+
+from repro.analysis import AnalysisCache, analyze_paths, resolve_cache
+from repro.analysis.incremental import analyzer_signature, reverse_cone
+from repro.analysis.symbols import summarize_module
+
+FIXTURES = Path(__file__).parent / "fixtures" / "project"
+
+
+def make_project(root: Path, nfiles: int = 40) -> None:
+    """A call chain spanning ``nfiles`` free-zone modules plus an entry."""
+    (root / "repro").mkdir(parents=True)
+    (root / "lib").mkdir()
+    (root / "repro" / "entry.py").write_text(
+        "from lib.m0 import fn0\n\n\ndef run(x):\n    return fn0(x)\n"
+    )
+    for i in range(nfiles):
+        if i + 1 < nfiles:
+            body = (
+                f"from lib.m{i + 1} import fn{i + 1}\n\n\n"
+                f"def fn{i}(x):\n    return fn{i + 1}(x) + {i}\n"
+            )
+        else:
+            body = f"def fn{i}(x):\n    return x\n"
+        (root / "lib" / f"m{i}.py").write_text(body)
+
+
+class TestWarmRuns:
+    def test_cold_misses_then_warm_hits_everything(self, tmp_path):
+        project = tmp_path / "proj"
+        make_project(project, nfiles=10)
+        cache_dir = tmp_path / "cache"
+
+        cold = AnalysisCache(cache_dir)
+        report = analyze_paths([project], root=project, cache=cold)
+        assert report.findings == []
+        assert (report.cache_hits, report.cache_misses) == (0, 11)
+
+        warm = AnalysisCache(cache_dir)
+        report = analyze_paths([project], root=project, cache=warm)
+        assert report.findings == []
+        assert (report.cache_hits, report.cache_misses) == (11, 0)
+        assert report.files_scanned == 11
+
+    def test_warm_run_is_at_least_three_times_faster(self, tmp_path):
+        project = tmp_path / "proj"
+        make_project(project, nfiles=40)
+        cache_dir = tmp_path / "cache"
+
+        started = time.perf_counter()
+        cold_cache = AnalysisCache(cache_dir)
+        analyze_paths([project], root=project, cache=cold_cache)
+        cold = time.perf_counter() - started
+        assert cold_cache.misses == 41
+
+        started = time.perf_counter()
+        warm_cache = AnalysisCache(cache_dir)
+        analyze_paths([project], root=project, cache=warm_cache)
+        warm = time.perf_counter() - started
+        # The fully-warm path replays the stored findings without one
+        # parse or graph build — the hit counter proves it took that
+        # path, the wall-clock ratio is the acceptance criterion.
+        assert (warm_cache.hits, warm_cache.misses) == (41, 0)
+        assert warm * 3 <= cold, f"warm={warm:.4f}s cold={cold:.4f}s"
+
+    def test_warm_findings_are_byte_identical(self, tmp_path):
+        # A taint finding (chain and all) must round-trip through the
+        # state record unchanged.
+        root = FIXTURES / "bad_taint_chain"
+        cache_dir = tmp_path / "cache"
+        cold = analyze_paths([root], root=root, cache=AnalysisCache(cache_dir))
+        warm_cache = AnalysisCache(cache_dir)
+        warm = analyze_paths([root], root=root, cache=warm_cache)
+        assert warm_cache.hits == 3
+        assert [f.to_payload() for f in warm.findings] == [
+            f.to_payload() for f in cold.findings
+        ]
+        assert warm.findings[0].chain == cold.findings[0].chain
+
+    def test_single_change_reuses_every_other_entry(self, tmp_path):
+        project = tmp_path / "proj"
+        make_project(project, nfiles=10)
+        cache_dir = tmp_path / "cache"
+        analyze_paths([project], root=project, cache=AnalysisCache(cache_dir))
+
+        target = project / "lib" / "m9.py"
+        target.write_text(target.read_text() + "\n\nEXTRA = 1\n")
+        partial = AnalysisCache(cache_dir)
+        report = analyze_paths([project], root=project, cache=partial)
+        assert (partial.hits, partial.misses) == (10, 1)
+        assert report.findings == []
+
+    def test_edit_that_introduces_a_source_is_found_warm(self, tmp_path):
+        project = tmp_path / "proj"
+        make_project(project, nfiles=4)
+        cache_dir = tmp_path / "cache"
+        analyze_paths([project], root=project, cache=AnalysisCache(cache_dir))
+
+        # The leaf starts reading the clock: the cached entry for the
+        # deterministic entrypoint must not mask the new taint chain.
+        (project / "lib" / "m3.py").write_text(
+            "import time\n\n\ndef fn3(x):\n    return time.time()\n"
+        )
+        report = analyze_paths(
+            [project], root=project, cache=AnalysisCache(cache_dir)
+        )
+        assert [f.rule for f in report.findings] == ["transitive-wallclock"]
+        assert report.findings[0].path == "repro/entry.py"
+
+    def test_analyzer_signature_change_invalidates(self, tmp_path, monkeypatch):
+        project = tmp_path / "proj"
+        make_project(project, nfiles=3)
+        cache_dir = tmp_path / "cache"
+        analyze_paths([project], root=project, cache=AnalysisCache(cache_dir))
+
+        import repro.analysis.incremental as incremental
+
+        monkeypatch.setattr(
+            incremental, "analyzer_signature", lambda: "different"
+        )
+        stale = AnalysisCache(cache_dir)
+        report = analyze_paths([project], root=project, cache=stale)
+        assert stale.hits == 0
+        assert stale.misses == 4
+        assert report.findings == []
+
+
+class TestResolveCache:
+    def test_default_directory_under_root(self, tmp_path):
+        cache = resolve_cache(tmp_path, env={})
+        assert cache is not None
+        assert cache.directory == tmp_path / ".repro-lint-cache"
+
+    def test_env_var_points_the_cache_elsewhere(self, tmp_path):
+        cache = resolve_cache(
+            tmp_path, env={"REPRO_LINT_CACHE": str(tmp_path / "elsewhere")}
+        )
+        assert cache is not None
+        assert cache.directory == tmp_path / "elsewhere"
+
+    def test_env_var_disables(self, tmp_path):
+        for value in ("off", "0", "false", "NO", "None"):
+            assert (
+                resolve_cache(tmp_path, env={"REPRO_LINT_CACHE": value})
+                is None
+            )
+
+    def test_signature_is_stable_within_a_process(self):
+        assert analyzer_signature() == analyzer_signature()
+
+
+class TestReverseCone:
+    def _summaries(self, files: dict[str, str]):
+        return [
+            summarize_module(
+                ast.parse(source), relpath, tuple(source.splitlines())
+            )
+            for relpath, source in files.items()
+        ]
+
+    def test_cone_includes_transitive_importers(self):
+        summaries = self._summaries(
+            {
+                "lib/a.py": "from lib.b import f\n",
+                "lib/b.py": "from lib.c import g\n",
+                "lib/c.py": "def g():\n    pass\n",
+                "lib/other.py": "x = 1\n",
+            }
+        )
+        cone = reverse_cone(summaries, {"lib/c.py"})
+        assert cone == {"lib/a.py", "lib/b.py", "lib/c.py"}
+
+    def test_leaf_change_stays_a_leaf(self):
+        summaries = self._summaries(
+            {
+                "lib/a.py": "from lib.b import f\n",
+                "lib/b.py": "def f():\n    pass\n",
+            }
+        )
+        assert reverse_cone(summaries, {"lib/a.py"}) == {"lib/a.py"}
+
+    def test_package_prefix_matches_both_directions(self):
+        # ``from pkg import anything`` pulls importers of the package
+        # into the cone when a submodule changes.
+        summaries = self._summaries(
+            {
+                "pkg/__init__.py": "",
+                "pkg/sub.py": "def f():\n    pass\n",
+                "lib/user.py": "import pkg\n",
+            }
+        )
+        cone = reverse_cone(summaries, {"pkg/sub.py"})
+        assert "lib/user.py" in cone

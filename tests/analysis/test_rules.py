@@ -202,6 +202,76 @@ class TestPragmas:
         )
         assert analyze_source(source, "m.py", zone=Zone.DETERMINISTIC) == []
 
+    def test_pragma_on_first_line_of_multiline_statement_waives(self):
+        # The finding anchors two lines below the pragma; the pragma
+        # binds to the whole statement span, not its own line.
+        source = (
+            "import time\n"
+            "now = max(  # repro-lint: ignore[no-wallclock] -- wrapped call\n"
+            "    time.time(),\n"
+            "    0.0,\n"
+            ")\n"
+        )
+        assert analyze_source(source, "m.py", zone=Zone.DETERMINISTIC) == []
+
+    def test_multiline_statement_without_pragma_still_fails(self):
+        source = (
+            "import time\n"
+            "now = max(\n"
+            "    time.time(),\n"
+            "    0.0,\n"
+            ")\n"
+        )
+        findings = analyze_source(source, "m.py", zone=Zone.DETERMINISTIC)
+        assert [f.rule for f in findings] == ["no-wallclock"]
+
+    def test_pragma_above_decorator_waives_the_decorated_def(self):
+        # The violation sits in the def header (a default argument), one
+        # line below the decorator the pragma comment precedes.
+        source = (
+            "import time\n"
+            "import functools\n"
+            "# repro-lint: ignore[no-wallclock] -- import-time default\n"
+            "@functools.lru_cache\n"
+            "def f(stamp=time.time()):\n"
+            "    return stamp\n"
+        )
+        assert analyze_source(source, "m.py", zone=Zone.DETERMINISTIC) == []
+
+    def test_pragma_on_decorator_line_waives_the_def_header(self):
+        source = (
+            "import time\n"
+            "import functools\n"
+            "@functools.lru_cache  # repro-lint: ignore[no-wallclock] -- ok\n"
+            "def f(stamp=time.time()):\n"
+            "    return stamp\n"
+        )
+        assert analyze_source(source, "m.py", zone=Zone.DETERMINISTIC) == []
+
+    def test_decorated_def_without_pragma_still_fails(self):
+        source = (
+            "import time\n"
+            "import functools\n"
+            "@functools.lru_cache\n"
+            "def f(stamp=time.time()):\n"
+            "    return stamp\n"
+        )
+        findings = analyze_source(source, "m.py", zone=Zone.DETERMINISTIC)
+        assert [f.rule for f in findings] == ["no-wallclock"]
+
+    def test_def_span_does_not_swallow_the_body(self):
+        # A pragma on the decorator must NOT waive violations deeper in
+        # the function body — the span ends at the header.
+        source = (
+            "import time\n"
+            "import functools\n"
+            "@functools.lru_cache  # repro-lint: ignore[no-wallclock] -- hdr\n"
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        findings = analyze_source(source, "m.py", zone=Zone.DETERMINISTIC)
+        assert [f.rule for f in findings] == ["no-wallclock"]
+
 
 class TestRegistry:
     def test_six_builtin_rules_registered(self):

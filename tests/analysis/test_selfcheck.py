@@ -25,8 +25,16 @@ def repo_report():
     return analyze_paths(roots, root=REPO_ROOT)
 
 
-def test_at_least_six_rules_ship(repo_report):
-    assert len(registered_rules()) >= 6
+def test_at_least_ten_rules_ship(repo_report):
+    # Six per-file rules plus the four project-scoped (interprocedural)
+    # rules: transitive-wallclock/-rng, lock-order, spec-schema-drift.
+    assert len(registered_rules()) >= 10
+    assert {
+        "transitive-wallclock",
+        "transitive-rng",
+        "lock-order",
+        "spec-schema-drift",
+    } <= set(registered_rules())
 
 
 def test_repo_is_clean_modulo_baseline(repo_report):
