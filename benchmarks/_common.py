@@ -26,6 +26,13 @@ from repro.sweep import Scenario, SweepCache, SweepEngine, backend_from_env
 SERVICES = ("nginx", "memcached", "mongodb")
 SEED = 2
 
+#: Benchmarks always run instrumented: every trajectory entry carries a
+#: telemetry digest (engine wall, cache hit rate, chunk sizes) so a
+#: speedup claim comes with the evidence for *why*.  Opt out with
+#: REPRO_TELEMETRY=0.  Results are unaffected either way — the parity
+#: tests and the telemetry-side-channel lint rule hold that line.
+os.environ.setdefault("REPRO_TELEMETRY", "1")
+
 #: Latency display units per service (value, label).
 SERVICE_UNITS = {
     "nginx": (1e3, "ms"),
@@ -121,6 +128,31 @@ def ladder(app_name: str):
     return ladder_for(app_name, seed=0)
 
 
+def telemetry_summary() -> dict | None:
+    """Fleet-wide telemetry digest for a bench entry (None when off).
+
+    Pulls the live recorder snapshot plus any worker shards, so a
+    distributed bench reports chunk sizes measured on the actual fleet.
+    """
+    from repro import telemetry
+
+    if not telemetry.get_recorder().enabled:
+        return None
+    merged = telemetry.summary()
+    counters = merged.get("counters", {})
+    hits = counters.get("sweep.cache.hit", 0.0)
+    probes = hits + counters.get("sweep.cache.miss", 0.0)
+    engine = merged.get("span_totals", {}).get("sweep.run")
+    chunk = merged.get("hists", {}).get("worker.chunk_size")
+    return {
+        "engine_wall_s": round(engine["total_s"], 6) if engine else None,
+        "cache_hit_rate": round(hits / probes, 4) if probes else None,
+        "mean_chunk_size": (
+            round(chunk["mean"], 3) if chunk and chunk["count"] else None
+        ),
+    }
+
+
 def record_bench(label: str, payload: dict) -> None:
     """Append one measurement entry to the BENCH_sweep.json trajectory.
 
@@ -141,14 +173,16 @@ def record_bench(label: str, payload: dict) -> None:
                     doc = loaded
             except (OSError, ValueError):
                 pass  # unreadable trajectory: start fresh rather than crash
-        doc["runs"].append(
-            {
-                "label": label,
-                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-                "cpu_count": os.cpu_count(),
-                **payload,
-            }
-        )
+        entry = {
+            "label": label,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "cpu_count": os.cpu_count(),
+            **payload,
+        }
+        digest = telemetry_summary()
+        if digest is not None and "telemetry" not in entry:
+            entry["telemetry"] = digest
+        doc["runs"].append(entry)
         atomic_write_bytes(
             BENCH_PATH, (json.dumps(doc, indent=1) + "\n").encode()
         )
@@ -172,4 +206,5 @@ __all__ = [
     "run_point",
     "run_spec",
     "scenario",
+    "telemetry_summary",
 ]

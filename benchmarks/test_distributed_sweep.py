@@ -28,6 +28,8 @@ from repro.sweep import (
     transport_from_spec,
 )
 
+from repro import telemetry
+
 from benchmarks._common import SEED, record_bench, scenario
 
 pytestmark = pytest.mark.benchmark
@@ -105,6 +107,7 @@ def test_distributed_smoke_with_worker_kill(transport_kind, tmp_path, capsys):
     finally:
         if broker is not None:
             broker.stop()
+        telemetry.flush()  # the submitter's own shard joins the timeline
     warm_hits = sum(1 for outcome in warm if outcome.from_cache)
     warm_hit_fraction = warm_hits / len(grid)
 
@@ -142,3 +145,17 @@ def test_distributed_smoke_with_worker_kill(transport_kind, tmp_path, capsys):
     assert warm_hit_fraction >= 0.95, (
         f"warm rerun only {warm_hit_fraction:.1%} from cache"
     )
+
+    # -- observability: the merged trace covers the whole fleet -----------
+    if telemetry.get_recorder().enabled:
+        trace = telemetry.chrome_trace(telemetry.default_dir())
+        events = trace["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert len(pids) >= 3, (
+            "merged Chrome trace should show submitter + both workers, "
+            f"got {len(pids)} process track(s)"
+        )
+        span_names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "scenario.run" in span_names, (
+            "per-scenario spans missing from the merged timeline"
+        )

@@ -106,6 +106,41 @@ def _check_adaptive_gate(run: dict, where: str) -> list[str]:
     return problems
 
 
+def _check_telemetry(run: dict, where: str) -> list[str]:
+    """The optional per-run telemetry digest, when present, must be sane.
+
+    ``benchmarks/_common.py`` attaches ``{engine_wall_s, cache_hit_rate,
+    mean_chunk_size}`` from the merged recorder snapshot; each field is a
+    number in its natural range or null (e.g. no chunks on a serial run).
+    """
+    digest = run.get("telemetry")
+    if digest is None:
+        return []
+    if not isinstance(digest, dict):
+        return [f"{where}: telemetry must be an object, got {type(digest).__name__}"]
+    problems = []
+    bounds = {
+        "engine_wall_s": (0.0, None),
+        "cache_hit_rate": (0.0, 1.0),
+        "mean_chunk_size": (1.0, None),
+    }
+    for field, (low, high) in bounds.items():
+        value = digest.get(field)
+        if value is None:
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(
+                f"{where}: telemetry.{field} must be a number or null, "
+                f"got {value!r}"
+            )
+        elif value < low or (high is not None and value > high):
+            problems.append(
+                f"{where}: telemetry.{field} {value} outside "
+                f"[{low}, {'inf' if high is None else high}]"
+            )
+    return problems
+
+
 def check(path: Path) -> list[str]:
     """All problems found in one trajectory file (empty = healthy)."""
     try:
@@ -140,6 +175,7 @@ def check(path: Path) -> list[str]:
             )
         problems.extend(_check_distributed_gate(run, where))
         problems.extend(_check_adaptive_gate(run, where))
+        problems.extend(_check_telemetry(run, where))
         stamp = run.get("timestamp")
         try:
             parsed = time.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")

@@ -15,6 +15,7 @@ from repro.analysis.rules.locks import LockDisciplineRule
 from repro.analysis.rules.rng import SeededRngRule
 from repro.analysis.rules.schema import SpecSchemaDriftRule
 from repro.analysis.rules.serialization import SerializationSafetyRule
+from repro.analysis.rules.telemetry import TelemetrySideChannelRule
 from repro.analysis.rules.transitive import (
     TransitiveRngRule,
     TransitiveWallclockRule,
@@ -29,6 +30,7 @@ __all__ = [
     "SeededRngRule",
     "SerializationSafetyRule",
     "SpecSchemaDriftRule",
+    "TelemetrySideChannelRule",
     "TransitiveRngRule",
     "TransitiveWallclockRule",
 ]

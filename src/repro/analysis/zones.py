@@ -39,9 +39,16 @@ class Zone(str, Enum):
 #: carries a contract, not everything that exists.
 ZONE_MAP: dict[str, Zone] = {
     "repro/sweep/backends": Zone.DISTRIBUTED,
+    # The sweep CLI is entry-point tooling: it sleeps in --watch loops and
+    # flushes telemetry shards; nothing it computes is a result payload.
+    "repro/sweep/cli.py": Zone.FREE,
     "repro/viz": Zone.FREE,
     # The linter itself walks filesystems and is not part of any result.
     "repro/analysis": Zone.FREE,
+    # Telemetry is the side channel: it reads real clocks at shard-write
+    # time by design and never feeds values back into results (the
+    # telemetry-side-channel rule polices the consumers, not this module).
+    "repro/telemetry": Zone.FREE,
     # Everything else under the package computes (or feeds) results that
     # must reproduce bit-identically: sim, search, experiment, core,
     # apps, services, server, cluster, sweep's cache/engine/grid, rng.

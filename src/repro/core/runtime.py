@@ -47,6 +47,7 @@ from repro.server.resources import ResourceProfile
 from repro.server.tenant import Tenant, TenantKind
 from repro.services.base import BacklogTracker, InteractiveService
 from repro.services.loadgen import ConstantLoad, LoadGenerator
+from repro.telemetry import get_recorder
 
 #: Slowdown an approximate app suffers per unit of contention pressure on
 #: itself (batch apps tolerate interference far better than tail latency).
@@ -338,18 +339,28 @@ class ColocationEngine:
         )
 
     def apply_level(self, name: str, level: int) -> None:
+        telemetry = get_recorder()
+        tick = telemetry.now() if telemetry.enabled else 0.0
         sim = self._apps[name]
         if sim.instrumentor is not None:
             sim.instrumentor.request_level(level)
         sim.level = level
         sim.level_trace.append((self._now, level))
         sim.tenant.set_profile(sim.active_profile())
+        if telemetry.enabled:
+            telemetry.observe("runtime.actuator_s", telemetry.now() - tick)
+            telemetry.count("runtime.level_changes")
 
     def move_core(self, name: str, to_service: bool) -> None:
+        telemetry = get_recorder()
+        tick = telemetry.now() if telemetry.enabled else 0.0
         if to_service:
             self._node.reclaim_core(name, self._service.name)
         else:
             self._node.reclaim_core(self._service.name, name)
+        if telemetry.enabled:
+            telemetry.observe("runtime.actuator_s", telemetry.now() - tick)
+            telemetry.count("runtime.core_moves")
 
     # -- simulation --------------------------------------------------------
 
@@ -365,9 +376,23 @@ class ColocationEngine:
         min_cores = {n: sim.tenant.cores for n, sim in self._apps.items()}
         max_reclaimed = {n: 0 for n in self._apps}
 
+        # Phase timings (monitor epochs vs. policy decisions vs. actuator
+        # work) are the profile that justifies the tensorization refactor.
+        # The recorder's injected clock is the only clock named here —
+        # simulation time (`self._now`) stays untouched, and everything
+        # below is guarded so an uninstrumented run pays one bool check.
+        telemetry = get_recorder()
+        instrumented = telemetry.enabled
+        monitor_spent = 0.0
+        tick = 0.0
+
         epoch_index = 0
         while self._now < cfg.horizon:
+            if instrumented:
+                tick = telemetry.now()
             self._step_epoch(epoch_index, times, p99s, service_cores, app_levels, app_cores)
+            if instrumented:
+                monitor_spent += telemetry.now() - tick
             for name, sim in self._apps.items():
                 min_cores[name] = min(min_cores[name], sim.tenant.cores)
                 max_reclaimed[name] = max(
@@ -375,10 +400,21 @@ class ColocationEngine:
                 )
             epoch_index += 1
             if epoch_index % epochs_per_interval == 0:
+                if instrumented:
+                    tick = telemetry.now()
                 obs = self._monitor.close_interval(self._now)
+                if instrumented:
+                    monitor_spent += telemetry.now() - tick
+                    telemetry.observe("runtime.monitor_phase_s", monitor_spent)
+                    monitor_spent = 0.0
+                    tick = telemetry.now()
                 before = self._action_fingerprint()
                 self._policy.on_interval(obs, self._actuator)
                 summary = self._describe_action(before)
+                if instrumented:
+                    telemetry.observe(
+                        "runtime.policy_phase_s", telemetry.now() - tick
+                    )
                 intervals.append(IntervalRecord(observation=obs, action_summary=summary))
             if cfg.stop_when_apps_done and all(
                 sim.finished for sim in self._apps.values()

@@ -19,6 +19,7 @@ from repro.sweep.backends import ExecutionBackend, backend_from_env
 from repro.sweep.cache import SweepCache
 from repro.sweep.engine import SweepEngine
 from repro.sweep.grid import Scenario, SweepGrid
+from repro.telemetry import get_recorder
 
 Runnable = Union[ExperimentSpec, SweepGrid, Iterable[Scenario]]
 
@@ -105,7 +106,10 @@ def run_experiment(
         scenarios, attached = spec.scenarios(), ExperimentSpec.from_grid(spec)
     else:
         scenarios, attached = list(spec), None
-    outcomes = resolved.run(scenarios, force=force)
+    with get_recorder().span(
+        "experiment.run", cat="experiment", scenarios=len(scenarios)
+    ):
+        outcomes = resolved.run(scenarios, force=force)
     return ResultSet(outcomes, spec=attached)
 
 

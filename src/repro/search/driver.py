@@ -20,6 +20,7 @@ from repro.search.space import DesignSpace
 from repro.search.strategies import resolve_strategy
 from repro.sweep.cache import SweepCache
 from repro.sweep.grid import SweepGrid
+from repro.telemetry import get_recorder
 
 
 def run_search(
@@ -87,48 +88,71 @@ def run_search(
     )
     primary = objectives[0]
 
-    while not chosen.done():
-        proposals = chosen.propose(history)
-        if not proposals:
-            break
-        fresh, seen_in_batch = [], set()
-        for scenario in proposals:
-            if scenario not in history and scenario not in seen_in_batch:
-                fresh.append(scenario)
-                seen_in_batch.add(scenario)
-        truncated = False
-        if remaining is not None and len(fresh) > remaining:
-            fresh, truncated = fresh[:remaining], True
-        outcomes = resolved_engine.run(fresh, force=force) if fresh else []
-        for outcome in outcomes:
-            history.record(outcome)
-        if remaining is not None:
-            remaining -= len(outcomes)
+    telemetry = get_recorder()
+    with telemetry.span(
+        "search.run", cat="search", strategy=label,
+        budget=-1 if budget is None else budget,
+    ):
+        while not chosen.done():
+            with telemetry.span(
+                "search.round", cat="search", round=len(rounds)
+            ):
+                proposals = chosen.propose(history)
+                if not proposals:
+                    break
+                fresh, seen_in_batch = [], set()
+                for scenario in proposals:
+                    if scenario not in history and scenario not in seen_in_batch:
+                        fresh.append(scenario)
+                        seen_in_batch.add(scenario)
+                truncated = False
+                if remaining is not None and len(fresh) > remaining:
+                    fresh, truncated = fresh[:remaining], True
+                outcomes = resolved_engine.run(fresh, force=force) if fresh else []
+                for outcome in outcomes:
+                    history.record(outcome)
+                if remaining is not None:
+                    remaining -= len(outcomes)
+                telemetry.count("search.proposals", len(proposals))
+                telemetry.count("search.budget_spent", len(outcomes))
+                telemetry.count(
+                    "search.replayed", len(proposals) - len(fresh)
+                )
 
-        # Observed batch: proposal order, replayed points included, any
-        # budget-truncated tail absent.
-        batch = [history.get(s) for s in proposals]
-        batch = [outcome for outcome in batch if outcome is not None]
-        chosen.observe(batch)
+                # Observed batch: proposal order, replayed points included,
+                # any budget-truncated tail absent.
+                batch = [history.get(s) for s in proposals]
+                batch = [outcome for outcome in batch if outcome is not None]
+                chosen.observe(batch)
 
-        for outcome in outcomes:
-            if space.contains(outcome.scenario):
-                score = primary.score(outcome.result)
-                if score > best_score:
-                    best_score = score
-                    best_label = outcome.scenario.label()
-        rounds.append(
-            RoundRecord(
-                round=len(rounds),
-                proposed=len(proposals),
-                evaluated=len(outcomes),
-                cache_hits=sum(1 for o in outcomes if o.from_cache),
-                best_score=best_score,
-                best_label=best_label,
-            )
-        )
-        if truncated or (remaining is not None and remaining <= 0):
-            break
+                for outcome in outcomes:
+                    if space.contains(outcome.scenario):
+                        score = primary.score(outcome.result)
+                        if score > best_score:
+                            best_score = score
+                            best_label = outcome.scenario.label()
+                rounds.append(
+                    RoundRecord(
+                        round=len(rounds),
+                        proposed=len(proposals),
+                        evaluated=len(outcomes),
+                        cache_hits=sum(1 for o in outcomes if o.from_cache),
+                        best_score=best_score,
+                        best_label=best_label,
+                    )
+                )
+                telemetry.event(
+                    "strategy.decision",
+                    cat="search",
+                    strategy=label,
+                    round=len(rounds) - 1,
+                    proposed=len(proposals),
+                    evaluated=len(outcomes),
+                    truncated=truncated,
+                    best=best_label,
+                )
+                if truncated or (remaining is not None and remaining <= 0):
+                    break
 
     return SearchResult(
         history.outcomes,

@@ -41,10 +41,19 @@ def timed_run(scenario: "Scenario") -> tuple["ColocationResult", float]:
     :mod:`repro.sweep.engine` imports this package at module scope.
     """
     from repro.sweep.engine import run_scenario
+    from repro.telemetry import get_recorder
 
-    start = time.perf_counter()
-    result = run_scenario(scenario)
-    return result, time.perf_counter() - start
+    with get_recorder().span(
+        "scenario.run",
+        cat="sweep",
+        service=scenario.service,
+        policy=scenario.policy,
+        seed=scenario.seed,
+    ):
+        start = time.perf_counter()
+        result = run_scenario(scenario)
+        duration = time.perf_counter() - start
+    return result, duration
 
 
 @dataclass(frozen=True)

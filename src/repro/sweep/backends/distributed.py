@@ -71,6 +71,8 @@ from repro.sweep.backends.base import (
 )
 from repro.sweep.cache import SweepCache
 from repro.sweep.grid import Scenario
+from repro.telemetry import flush as telemetry_flush
+from repro.telemetry import get_recorder
 
 __all__ = [
     "DistributedBackend",
@@ -223,6 +225,7 @@ class JobSpool(BrokerTransport):
             return False
         if won:
             self._lease_seen.pop(job_id, None)
+            get_recorder().event("lease.stolen", cat="spool", job=job_id)
         return won
 
     def heartbeat(self, job_id: str) -> None:
@@ -436,6 +439,14 @@ def run_worker(
         if heartbeat_interval is not None
         else max(transport.lease_ttl / 4.0, 0.05)
     )
+    telemetry = get_recorder()
+    if telemetry.enabled:
+        # The merged timeline shows one track per worker, not one
+        # anonymous "main" per process.  Flush immediately so the worker
+        # appears on the timeline even if it dies before its first chunk
+        # completes (the smoke test SIGKILLs one mid-chunk).
+        telemetry.process = worker_id
+        telemetry_flush()
     executed = 0
     avg_cost: float | None = None  # EWMA seconds per scenario
     while max_jobs is None or executed < max_jobs:
@@ -452,6 +463,11 @@ def run_worker(
                 break
             time.sleep(poll_interval)
             continue
+        telemetry.count("worker.claims")
+        telemetry.observe("worker.chunk_size", len(chunk))
+        telemetry.event(
+            "chunk.claimed", cat="worker", jobs=len(chunk), want=want
+        )
         leased = {job.job_id for job in chunk}
         with _LeaseHeartbeat(transport, leased, heartbeat):
             for job in chunk:
@@ -467,18 +483,25 @@ def run_worker(
                         job.job_id, error=f"{type(exc).__name__}: {exc}",
                         worker_id=worker_id,
                     )
+                    telemetry.count("worker.failed")
+                    telemetry.event(
+                        "job.failed", cat="worker", job=job.job_id,
+                        error=type(exc).__name__,
+                    )
                     leased.discard(job.job_id)
                     executed += 1
                     continue
                 except BaseException:
                     # Shutdown mid-chunk: hand the unfinished remainder back.
                     transport.release_many(sorted(leased))
+                    telemetry_flush()
                     raise
                 cache.put(cache.key(job.scenario), result)
                 transport.mark_done(
                     job.job_id, key=cache.key(job.scenario), duration=duration,
                     worker_id=worker_id,
                 )
+                telemetry.count("worker.done")
                 leased.discard(job.job_id)
                 executed += 1
                 avg_cost = (
@@ -486,6 +509,10 @@ def run_worker(
                     if avg_cost is None
                     else 0.5 * avg_cost + 0.5 * duration
                 )
+        # Re-flush after every chunk so `sweep status --watch` (and a
+        # collector racing worker exit) sees a near-live shard.
+        telemetry_flush()
+    telemetry_flush()
     return executed
 
 
@@ -619,7 +646,17 @@ class DistributedBackend(ExecutionBackend):
         collected: dict[str, tuple] = {}
         outstanding = dict.fromkeys(job_ids)  # preserves order, dedupes
         exited_strikes = 0
+        telemetry = get_recorder()
+        next_gauge = 0.0  # monotonic deadline for the next census sample
         while True:
+            if telemetry.enabled and time.monotonic() >= next_gauge:
+                # Sampling the census is a full spool scan — throttle it
+                # well below the collect poll rate.
+                census = transport.status()
+                telemetry.gauge("broker.queue_depth", census.pending)
+                telemetry.gauge("broker.running", census.running)
+                telemetry.gauge("broker.expired", census.expired)
+                next_gauge = time.monotonic() + max(self._poll_interval, 0.5)
             waiting = [j for j in outstanding if j not in collected]
             for job_id, info in transport.done_info_many(waiting).items():
                 if "error" in info:
@@ -633,6 +670,8 @@ class DistributedBackend(ExecutionBackend):
                     # Done marker outlived its cache entry (pruned or torn):
                     # forget the completion so a worker recomputes it.
                     transport.reset_job(job_id)
+                    telemetry.count("collector.requeued")
+                    telemetry.event("job.requeued", cat="collector", job=job_id)
                     continue
                 collected[job_id] = (result, float(info.get("duration", 0.0)))
             if all(job_id in collected for job_id in outstanding):

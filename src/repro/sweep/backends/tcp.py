@@ -52,6 +52,7 @@ from typing import Callable, Sequence
 from repro.cas import stable_hash
 from repro.sweep.backends.base import BrokerTransport, SpoolJob, SpoolStatus
 from repro.sweep.grid import Scenario
+from repro.telemetry import get_recorder
 
 __all__ = ["TcpBroker", "TcpTransport", "parse_tcp_spec"]
 
@@ -141,6 +142,17 @@ class TcpBroker:
                     continue
                 self._leases[job_id] = (worker, now)
                 jobs.append({"job_id": job_id, "scenario": self._jobs[job_id]})
+            telemetry = get_recorder()
+            if telemetry.enabled:
+                # Every claim is a broker tick: sample how deep the
+                # runnable queue is *after* handing this chunk out.
+                telemetry.count("broker.claims")
+                telemetry.gauge(
+                    "broker.queue_depth",
+                    sum(1 for j in self._order if self._claimable(j)),
+                )
+                if jobs:
+                    telemetry.observe("broker.claim_jobs", len(jobs))
             return {"ok": True, "jobs": jobs}
         if op == "heartbeat":
             now = self._clock()
@@ -161,6 +173,7 @@ class TcpBroker:
                 "worker": request.get("worker", "?"),
             }
             self._leases.pop(job_id, None)
+            get_recorder().count("broker.done")
             return {"ok": True}
         if op == "failed":
             job_id = request["job_id"]
@@ -169,6 +182,7 @@ class TcpBroker:
                 "worker": request.get("worker", "?"),
             }
             self._leases.pop(job_id, None)
+            get_recorder().count("broker.failed")
             return {"ok": True}
         if op == "done_info":
             job_ids = request.get("job_ids")

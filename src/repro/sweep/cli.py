@@ -47,7 +47,9 @@ import argparse
 import importlib
 import json
 import sys
+import time
 
+from repro import telemetry
 from repro.experiment import ExperimentSpec, run_experiment
 from repro.sweep.backends import (
     DistributedBackend,
@@ -190,11 +192,18 @@ def cmd_submit(args) -> int:
         local_workers=args.workers,
         import_modules=tuple(args.import_modules or ()),
     )
+    recorder = telemetry.get_recorder()
+    if recorder.enabled and recorder.process == "main":
+        recorder.process = "submitter"
     try:
         results = run_experiment(spec, backend=backend, cache=cache)
     except (RuntimeError, TimeoutError) as exc:
+        telemetry.flush()
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
+    shard = telemetry.flush()
+    if shard is not None:
+        print(f"telemetry shard: {shard} (python -m repro.telemetry report)")
     if spec.search_requested:
         best = results.best()
         print(
@@ -237,23 +246,70 @@ def cmd_worker(args) -> int:
 
 
 def cmd_broker(args) -> int:
-    TcpBroker(
-        host=args.host, port=args.port, lease_ttl=args.lease_ttl
-    ).serve_forever()
+    recorder = telemetry.get_recorder()
+    if recorder.enabled and recorder.process == "main":
+        recorder.process = "broker"
+    try:
+        TcpBroker(
+            host=args.host, port=args.port, lease_ttl=args.lease_ttl
+        ).serve_forever()
+    finally:
+        telemetry.flush()
     return 0
 
 
+def _census_line(spool: str, status) -> str:
+    failed = f" ({status.failed} failed)" if status.failed else ""
+    return (
+        f"spool {spool}: {status.total} jobs — "
+        f"{status.done} done{failed}, {status.running} running, "
+        f"{status.expired} expired leases, {status.pending} pending"
+    )
+
+
+def _watch_frame(transport, spool: str, shard_dir) -> str:
+    """One ``--watch`` refresh: broker census + per-process telemetry."""
+    lines = [_census_line(spool, transport.status())]
+    for shard in telemetry.read_shards(shard_dir):
+        meta = shard["meta"]
+        counters = meta.get("counters", {})
+        done = int(counters.get("worker.done", 0))
+        claims = int(counters.get("worker.claims", 0))
+        if not (done or claims):
+            continue
+        chunk = meta.get("hists", {}).get("worker.chunk_size", {})
+        failed = int(counters.get("worker.failed", 0))
+        failed_note = f", {failed} failed" if failed else ""
+        lines.append(
+            f"  {meta['process']}: {done} done{failed_note}, "
+            f"{claims} claims, mean chunk {chunk.get('mean', 0.0):.1f}"
+        )
+    return "\n".join(lines)
+
+
 def cmd_status(args) -> int:
-    status = transport_from_spec(args.spool, lease_ttl=args.lease_ttl).status()
+    transport = transport_from_spec(args.spool, lease_ttl=args.lease_ttl)
+    if args.watch:
+        shard_dir = (
+            args.telemetry_dir
+            if args.telemetry_dir
+            else telemetry.default_dir()
+        )
+        try:
+            while True:
+                print(_watch_frame(transport, args.spool, shard_dir), flush=True)
+                status = transport.status()
+                if status.total and status.done == status.total:
+                    break
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    status = transport.status()
     if args.json:
         print(json.dumps(status.to_payload()))
     else:
-        failed = f" ({status.failed} failed)" if status.failed else ""
-        print(
-            f"spool {args.spool}: {status.total} jobs — "
-            f"{status.done} done{failed}, {status.running} running, "
-            f"{status.expired} expired leases, {status.pending} pending"
-        )
+        print(_census_line(args.spool, status))
     return 0
 
 
@@ -399,6 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
     status = sub.add_parser("status", help="census of a spool or broker")
     _add_spool_args(status)
     status.add_argument("--json", action="store_true")
+    status.add_argument("--watch", action="store_true",
+                        help="refresh until the spool drains; adds per-worker "
+                        "telemetry lines when shards are being written")
+    status.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                        help="with --watch: seconds between refreshes")
+    status.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="with --watch: shard directory (default: "
+                        "$REPRO_TELEMETRY_DIR or .repro-telemetry)")
     status.set_defaults(func=cmd_status)
 
     cache = sub.add_parser("cache", help="inspect or bound the result cache")

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.core.arbiter import ImpactAwareArbiter
+from repro.telemetry import get_recorder
 from repro.core.baselines import (
     CoreReclaimOnlyPolicy,
     PrecisePolicy,
@@ -241,40 +242,53 @@ class SweepEngine:
         scenarios = list(grid.scenarios() if isinstance(grid, SweepGrid) else grid)
         outcomes: dict[int, SweepOutcome] = {}
         pending: list[tuple[int, Scenario]] = []
+        telemetry = get_recorder()
 
-        for index, scenario in enumerate(scenarios):
-            cached = None
-            if self._cache is not None and not force:
-                cached = self._cache.get(self._cache.key(scenario))
-            if cached is not None:
-                outcomes[index] = SweepOutcome(
-                    scenario=scenario,
-                    result=cached,
-                    from_cache=True,
-                    duration=0.0,
-                )
-            else:
-                pending.append((index, scenario))
+        with telemetry.span("sweep.run", cat="engine", scenarios=len(scenarios)):
+            for index, scenario in enumerate(scenarios):
+                cached = None
+                if self._cache is not None and not force:
+                    cached = self._cache.get(self._cache.key(scenario))
+                if cached is not None:
+                    telemetry.count("sweep.cache.hit")
+                    outcomes[index] = SweepOutcome(
+                        scenario=scenario,
+                        result=cached,
+                        from_cache=True,
+                        duration=0.0,
+                    )
+                else:
+                    telemetry.count("sweep.cache.miss")
+                    pending.append((index, scenario))
 
-        if pending:
-            backend = self.resolve_backend(len(pending))
-            computed = backend.execute([s for _, s in pending])
-            # Skip the write-back when the backend's workers already
-            # published into this very cache (same root): re-pickling
-            # every distributed result would double the disk traffic.
-            store = backend.result_store()
-            write_back = self._cache is not None and (
-                store is None or store.root != self._cache.root
-            )
-            for (index, scenario), (result, duration) in zip(pending, computed):
-                if write_back:
-                    self._cache.put(self._cache.key(scenario), result)
-                outcomes[index] = SweepOutcome(
-                    scenario=scenario,
-                    result=result,
-                    from_cache=False,
-                    duration=duration,
+            if pending:
+                backend = self.resolve_backend(len(pending))
+                with telemetry.span(
+                    "sweep.execute",
+                    cat="engine",
+                    backend=backend.name,
+                    pending=len(pending),
+                ):
+                    computed = backend.execute([s for _, s in pending])
+                # Skip the write-back when the backend's workers already
+                # published into this very cache (same root): re-pickling
+                # every distributed result would double the disk traffic.
+                store = backend.result_store()
+                write_back = self._cache is not None and (
+                    store is None or store.root != self._cache.root
                 )
+                for (index, scenario), (result, duration) in zip(pending, computed):
+                    if write_back:
+                        self._cache.put(self._cache.key(scenario), result)
+                    # Per-scenario durations reach the engine even when
+                    # they ran in pool children that never flush a shard.
+                    telemetry.observe("sweep.scenario_s", duration)
+                    outcomes[index] = SweepOutcome(
+                        scenario=scenario,
+                        result=result,
+                        from_cache=False,
+                        duration=duration,
+                    )
 
         return [outcomes[i] for i in range(len(scenarios))]
 

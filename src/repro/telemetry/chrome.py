@@ -1,0 +1,109 @@
+"""Chrome trace-event export (viewable in Perfetto / chrome://tracing).
+
+Maps the merged shard timeline onto the trace-event JSON format:
+
+* one ``M`` (metadata) ``process_name`` event per shard process,
+* ``X`` (complete) events for spans, ``dur`` in microseconds,
+* ``i`` (instant) events for structured events,
+* ``C`` (counter) events for gauge samples, so queue depth renders as a
+  stacked area chart under the broker's track.
+
+Timestamps are the shards' absolute timeline (wall-anchored monotonic)
+rebased to the earliest record so traces start near t=0 regardless of
+host uptime.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .shards import merge_shards
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_US = 1_000_000.0
+
+
+def _pid_index(processes: list[dict]) -> dict[tuple[str, int], int]:
+    """Stable small display pids — one per (process, os-pid) shard."""
+    index = {}
+    for position, proc in enumerate(processes, start=1):
+        index[(str(proc["process"]), int(proc["pid"]))] = position
+    return index
+
+
+def chrome_trace(directory: str | os.PathLike) -> dict:
+    """Build a ``{"traceEvents": [...]}`` document from shard files."""
+    merged = merge_shards(directory)
+    processes = merged["processes"]
+    records = merged["records"]
+    pids = _pid_index(processes)
+
+    base = min((r["abs_ts"] for r in records), default=0.0)
+    events: list[dict] = []
+    for proc in processes:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pids[(str(proc["process"]), int(proc["pid"]))],
+                "tid": 0,
+                "args": {"name": f"{proc['process']} (pid {proc['pid']})"},
+            }
+        )
+
+    for record in records:
+        pid = pids[(str(record["process"]), int(record["pid"]))]
+        ts_us = (record["abs_ts"] - base) * _US
+        kind = record.get("kind")
+        if kind == "span":
+            events.append(
+                {
+                    "ph": "X",
+                    "name": record.get("name", "?"),
+                    "cat": record.get("cat") or "span",
+                    "pid": pid,
+                    "tid": record.get("tid", 0),
+                    "ts": ts_us,
+                    "dur": float(record.get("dur", 0.0)) * _US,
+                    "args": record.get("args", {}),
+                }
+            )
+        elif kind == "event":
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": record.get("name", "?"),
+                    "cat": record.get("cat") or "event",
+                    "pid": pid,
+                    "tid": record.get("tid", 0),
+                    "ts": ts_us,
+                    "args": record.get("args", {}),
+                }
+            )
+        elif kind == "gauge":
+            events.append(
+                {
+                    "ph": "C",
+                    "name": record.get("name", "?"),
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts_us,
+                    "args": {"value": float(record.get("value", 0.0))},
+                }
+            )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    directory: str | os.PathLike, out: str | os.PathLike
+) -> Path:
+    """Write the Chrome trace for ``directory``'s shards to ``out``."""
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(chrome_trace(directory)), encoding="utf-8")
+    return out

@@ -1,0 +1,112 @@
+"""``python -m repro.telemetry`` — report on recorded shards.
+
+Subcommand ``report`` merges the shard directory and prints an aggregate
+summary table; ``--trace out.json`` additionally writes a Chrome
+trace-event file loadable in Perfetto (https://ui.perfetto.dev) or
+chrome://tracing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import default_dir
+from .chrome import write_chrome_trace
+from .shards import merge_shards, merge_snapshots, read_shards
+
+__all__ = ["build_parser", "main", "summary_table"]
+
+
+def summary_table(aggregate: dict, processes: list[dict]) -> str:
+    """Render the merged aggregate as an aligned plain-text table."""
+    lines = []
+    if processes:
+        lines.append("processes:")
+        for proc in processes:
+            lines.append(f"  {proc['process']} (pid {proc['pid']})")
+    counters = aggregate.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]:g}")
+    gauges = aggregate.get("gauges", {})
+    if gauges:
+        lines.append("gauges (last):")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {gauges[name]:g}")
+    hists = aggregate.get("hists", {})
+    if hists:
+        lines.append("histograms:")
+        width = max(len(n) for n in hists)
+        for name in sorted(hists):
+            st = hists[name]
+            lines.append(
+                f"  {name:<{width}}  n={st['count']} mean={st['mean']:.6g}"
+                f" min={st['min']:.6g} max={st['max']:.6g}"
+            )
+    span_totals = aggregate.get("span_totals", {})
+    if span_totals:
+        lines.append("span totals:")
+        width = max(len(n) for n in span_totals)
+        for name in sorted(span_totals):
+            st = span_totals[name]
+            lines.append(
+                f"  {name:<{width}}  n={st['count']} total={st['total_s']:.6g}s"
+            )
+    if not lines:
+        lines.append("(no telemetry recorded)")
+    return "\n".join(lines)
+
+
+def cmd_report(ns: argparse.Namespace) -> int:
+    directory = ns.dir if ns.dir is not None else default_dir()
+    merged = merge_shards(directory)
+    aggregate = merge_snapshots(shard["meta"] for shard in read_shards(directory))
+    if ns.trace:
+        path = write_chrome_trace(directory, ns.trace)
+        print(f"chrome trace: {path} ({len(merged['records'])} records)")
+    if ns.json:
+        print(json.dumps(aggregate, sort_keys=True, indent=2))
+    else:
+        print(summary_table(aggregate, merged["processes"]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry",
+        description="Inspect and export recorded telemetry shards.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="merge shards; print summary, optionally export trace"
+    )
+    report.add_argument(
+        "--dir",
+        default=None,
+        help="shard directory (default: $REPRO_TELEMETRY_DIR or .repro-telemetry)",
+    )
+    report.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT",
+        help="also write a Chrome trace-event JSON file to OUT",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="print the aggregate as JSON"
+    )
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    ns = build_parser().parse_args(argv)
+    return ns.func(ns)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,287 @@
+"""The :class:`Recorder`: spans, counters, gauges, histograms, events.
+
+Telemetry is a **pure side channel**: a recorder only ever *receives*
+values from instrumented code — nothing an instrumented module computes
+may depend on what the recorder holds.  The repro-lint
+``telemetry-side-channel`` rule enforces that contract in the
+deterministic and distributed zones, which is why the write API
+(:meth:`Recorder.span`, :meth:`~Recorder.count`, :meth:`~Recorder.gauge`,
+:meth:`~Recorder.observe`, :meth:`~Recorder.event`) and the read API
+(:meth:`~Recorder.snapshot`, :meth:`~Recorder.to_payload`) are kept
+sharply separate.
+
+Clocks are **injected**: a :class:`Recorder` is constructed with the
+monotonic callable it timestamps with, so instrumented code in the
+deterministic zone never names a process clock (``repro.telemetry`` is
+the only module that touches ``time``, and it is zoned *free*).  Tests
+inject fake clocks for deterministic timestamps; the env-activated
+recorder (:func:`repro.telemetry.recorder_from_env`) injects
+``time.monotonic``.
+
+The default recorder is a :class:`NullRecorder`, so the cost of an
+uninstrumented run is one attribute check (``recorder.enabled``) per
+instrumentation site plus a no-op call where sites do not guard.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable
+
+__all__ = ["NullRecorder", "Recorder"]
+
+
+class _NullSpan:
+    """A reusable no-op context manager (one allocation per process)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The do-nothing recorder instrumented code sees by default.
+
+    Every write-API method is a no-op and :meth:`span` hands back one
+    shared context manager, so instrumentation costs an attribute lookup
+    and a trivially-inlined call when telemetry is off.  ``enabled`` is
+    ``False`` so hot loops can skip even that.
+    """
+
+    enabled = False
+    process = "null"
+    pid = 0
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name: str, cat: str = "", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def complete(
+        self, name: str, duration: float, cat: str = "", **args
+    ) -> None:
+        return None
+
+    def count(self, name: str, delta: float = 1.0) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def event(self, name: str, cat: str = "", **args) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullRecorder()"
+
+
+class _Span:
+    """One in-flight span; records itself on exit."""
+
+    __slots__ = ("_recorder", "name", "cat", "args", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str, cat: str, args: dict):
+        self._recorder = recorder
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._recorder.now()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = self._recorder.now()
+        self._recorder._record_span(
+            self.name, self.cat, self._start, end - self._start, self.args
+        )
+
+
+class Recorder:
+    """Thread-safe in-memory telemetry sink with an injected clock.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic callable the recorder timestamps with.  Injected, never
+        defaulted: the deterministic zone must not name a process clock,
+        and tests want fake clocks.
+    process:
+        Display name of this process on the merged timeline (workers use
+        their worker id).  Mutable — a worker renames its recorder once
+        it knows its identity.
+    wall:
+        Optional wall-clock callable used *only* when a shard is written,
+        to anchor this process's monotonic timeline to an absolute one so
+        shards from different processes merge coherently.  ``None`` falls
+        back to ``time.time`` at write time (see
+        :func:`repro.telemetry.shards.write_shard`).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        process: str = "main",
+        wall: Callable[[], float] | None = None,
+    ) -> None:
+        if not callable(clock):
+            raise TypeError("clock must be a zero-argument callable")
+        self._clock = clock
+        self._wall = wall
+        self.process = str(process)
+        self.pid = os.getpid()
+        self._lock = threading.Lock()
+        self._spans: list[dict] = []
+        self._events: list[dict] = []
+        self._gauge_samples: list[dict] = []
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        #: name -> [count, total, min, max] (streaming, bounded memory —
+        #: a million observations cost four floats, not a million).
+        self._hists: dict[str, list[float]] = {}
+        #: name -> [count, total_seconds] per span name.
+        self._span_totals: dict[str, list[float]] = {}
+
+    # -- write API (the only surface instrumented zones may use) ---------
+
+    def now(self) -> float:
+        """The injected clock's current reading (seconds, monotonic).
+
+        The value exists to be handed *back* to this recorder (phase
+        timing: ``t0 = rec.now(); ...; rec.observe(name, rec.now() - t0)``)
+        — the ``telemetry-side-channel`` lint rule rejects any flow of it
+        into result payloads.
+        """
+        return float(self._clock())
+
+    def span(self, name: str, cat: str = "", **args) -> _Span:
+        """A context manager timing one named region."""
+        return _Span(self, name, cat, args)
+
+    def complete(
+        self, name: str, duration: float, cat: str = "", **args
+    ) -> None:
+        """Record a span retrospectively from a measured duration.
+
+        Used where the timed region ran somewhere the recorder could not
+        see (a process-pool child): the span ends now and is backdated by
+        ``duration``.
+        """
+        end = self.now()
+        self._record_span(name, cat, end - float(duration), float(duration), args)
+
+    def count(self, name: str, delta: float = 1.0) -> None:
+        """Add ``delta`` to a monotonically accumulating counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + float(delta)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Sample a point-in-time level (queue depth, fleet size)."""
+        ts = self.now()
+        with self._lock:
+            self._gauges[name] = float(value)
+            self._gauge_samples.append(
+                {"name": name, "ts": ts, "value": float(value)}
+            )
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one observation into a streaming histogram."""
+        value = float(value)
+        with self._lock:
+            stats = self._hists.get(name)
+            if stats is None:
+                self._hists[name] = [1.0, value, value, value]
+            else:
+                stats[0] += 1.0
+                stats[1] += value
+                stats[2] = min(stats[2], value)
+                stats[3] = max(stats[3], value)
+
+    def event(self, name: str, cat: str = "", **args) -> None:
+        """Record an instantaneous structured event."""
+        ts = self.now()
+        with self._lock:
+            self._events.append(
+                {"name": name, "cat": cat, "ts": ts,
+                 "tid": threading.get_ident(), "args": args}
+            )
+
+    def _record_span(
+        self, name: str, cat: str, start: float, duration: float, args: dict
+    ) -> None:
+        with self._lock:
+            self._spans.append(
+                {"name": name, "cat": cat, "ts": start, "dur": duration,
+                 "tid": threading.get_ident(), "args": args}
+            )
+            totals = self._span_totals.get(name)
+            if totals is None:
+                self._span_totals[name] = [1.0, duration]
+            else:
+                totals[0] += 1.0
+                totals[1] += duration
+
+    # -- read API (free zone only: shards, reports, benchmarks) ----------
+
+    def snapshot(self) -> dict:
+        """Point-in-time aggregate view (counters, gauges, histogram
+        stats, per-name span totals).  Free-zone callers only."""
+        with self._lock:
+            return {
+                "process": self.process,
+                "pid": self.pid,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "hists": {
+                    name: {
+                        "count": int(stats[0]),
+                        "total": stats[1],
+                        "min": stats[2],
+                        "max": stats[3],
+                        "mean": stats[1] / stats[0] if stats[0] else 0.0,
+                    }
+                    for name, stats in self._hists.items()
+                },
+                "span_totals": {
+                    name: {"count": int(totals[0]), "total_s": totals[1]}
+                    for name, totals in self._span_totals.items()
+                },
+                "spans": len(self._spans),
+                "events": len(self._events),
+            }
+
+    def to_payload(self) -> dict:
+        """The full dump a shard serializes (spans, events, gauge series,
+        aggregates).  Free-zone callers only."""
+        snapshot = self.snapshot()
+        with self._lock:
+            return {
+                **snapshot,
+                "span_records": [dict(s) for s in self._spans],
+                "event_records": [dict(e) for e in self._events],
+                "gauge_records": [dict(g) for g in self._gauge_samples],
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Recorder(process={self.process!r}, spans={len(self._spans)}, "
+            f"counters={len(self._counters)})"
+        )

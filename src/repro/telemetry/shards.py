@@ -1,0 +1,226 @@
+"""Per-process telemetry shards and their merge into one timeline.
+
+Each instrumented process dumps its recorder to a JSONL *shard*
+(``shard-<process>-<pid>.jsonl``) in the telemetry directory.  The first
+line is a ``meta`` record carrying the wall−monotonic clock *offset* of
+that process, captured at write time; every later line is one span,
+event, or gauge sample stamped with the process's monotonic clock.  The
+collector (:func:`merge_shards`) rebases each record onto the absolute
+timeline (``abs_ts = ts + offset``) so a distributed run — submitter,
+broker, N workers, each with its own monotonic epoch — merges into one
+coherent trace.
+
+Writes are atomic (tmp file + ``os.replace``) so a worker can re-flush
+its shard periodically for the live ``sweep status --watch`` view
+without readers ever seeing a torn file.
+
+This module is the one place telemetry touches the real clocks, and it
+lives in the *free* zone; instrumented zones only ever hold a
+:class:`~repro.telemetry.recorder.Recorder` with an injected clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterable
+
+from .recorder import Recorder
+
+__all__ = [
+    "merge_shards",
+    "merge_snapshots",
+    "read_shard",
+    "read_shards",
+    "shard_path",
+    "write_shard",
+]
+
+SHARD_PREFIX = "shard-"
+SHARD_SUFFIX = ".jsonl"
+
+
+def shard_path(directory: str | os.PathLike, recorder: Recorder) -> Path:
+    """Where ``recorder``'s process writes its shard."""
+    safe = "".join(
+        ch if (ch.isalnum() or ch in "-_.") else "_" for ch in recorder.process
+    )
+    return Path(directory) / f"{SHARD_PREFIX}{safe}-{recorder.pid}{SHARD_SUFFIX}"
+
+
+def write_shard(directory: str | os.PathLike, recorder: Recorder) -> Path:
+    """Atomically dump ``recorder`` to its shard file.
+
+    The meta line anchors the shard: ``offset = wall() - clock()`` read
+    back-to-back at write time, so ``record_ts + offset`` is an absolute
+    timestamp.  Re-flushing overwrites the whole shard — recorders are
+    append-only in memory, so a later flush is a superset of an earlier
+    one and replacing is safe.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    wall = recorder._wall if recorder._wall is not None else time.time
+    offset = float(wall()) - recorder.now()
+    payload = recorder.to_payload()
+
+    lines = [
+        json.dumps(
+            {
+                "kind": "meta",
+                "process": payload["process"],
+                "pid": payload["pid"],
+                "offset": offset,
+                "counters": payload["counters"],
+                "gauges": payload["gauges"],
+                "hists": payload["hists"],
+                "span_totals": payload["span_totals"],
+            },
+            sort_keys=True,
+        )
+    ]
+    for span in payload["span_records"]:
+        lines.append(json.dumps({"kind": "span", **span}, sort_keys=True))
+    for event in payload["event_records"]:
+        lines.append(json.dumps({"kind": "event", **event}, sort_keys=True))
+    for gauge in payload["gauge_records"]:
+        lines.append(json.dumps({"kind": "gauge", **gauge}, sort_keys=True))
+
+    path = shard_path(directory, recorder)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def read_shard(path: str | os.PathLike) -> dict | None:
+    """Parse one shard into ``{"meta": ..., "records": [...]}``.
+
+    Returns ``None`` for unreadable/torn shards (a worker may be writing
+    concurrently under a non-atomic filesystem; skip, don't crash).
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return None
+    meta = None
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            return None
+        if obj.get("kind") == "meta":
+            meta = obj
+        else:
+            records.append(obj)
+    if meta is None:
+        return None
+    return {"meta": meta, "records": records}
+
+
+def read_shards(directory: str | os.PathLike) -> list[dict]:
+    """All parseable shards in ``directory``, sorted by filename."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    shards = []
+    for path in sorted(directory.glob(f"{SHARD_PREFIX}*{SHARD_SUFFIX}")):
+        shard = read_shard(path)
+        if shard is not None:
+            shards.append(shard)
+    return shards
+
+
+def merge_shards(directory: str | os.PathLike) -> dict:
+    """Merge every shard in ``directory`` into one absolute timeline.
+
+    Returns ``{"processes": [...], "records": [...]}`` where each record
+    gained ``abs_ts`` (monotonic ts rebased by its shard's offset) plus
+    ``process``/``pid``, and records are sorted by ``abs_ts`` (ties
+    broken by process then kind then name so the order is total and
+    deterministic for fake-clock tests).
+    """
+    processes = []
+    merged = []
+    for shard in read_shards(directory):
+        meta = shard["meta"]
+        offset = float(meta.get("offset", 0.0))
+        processes.append(
+            {
+                "process": meta["process"],
+                "pid": meta["pid"],
+                "offset": offset,
+                "counters": meta.get("counters", {}),
+                "gauges": meta.get("gauges", {}),
+                "hists": meta.get("hists", {}),
+                "span_totals": meta.get("span_totals", {}),
+            }
+        )
+        for record in shard["records"]:
+            merged.append(
+                {
+                    **record,
+                    "abs_ts": float(record.get("ts", 0.0)) + offset,
+                    "process": meta["process"],
+                    "pid": meta["pid"],
+                }
+            )
+    merged.sort(
+        key=lambda r: (
+            r["abs_ts"],
+            str(r["process"]),
+            r.get("kind", ""),
+            r.get("name", ""),
+        )
+    )
+    processes.sort(key=lambda p: (str(p["process"]), p["pid"]))
+    return {"processes": processes, "records": merged}
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Fold per-process aggregate snapshots into fleet-wide totals.
+
+    Counters and span totals sum; gauges keep the last value per
+    process under a ``process:name`` key; histograms merge by
+    count/total/min/max.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    hists: dict[str, dict] = {}
+    span_totals: dict[str, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        process = snap.get("process", "?")
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[f"{process}:{name}"] = value
+        for name, stats in snap.get("hists", {}).items():
+            agg = hists.get(name)
+            if agg is None:
+                hists[name] = dict(stats)
+            else:
+                agg["count"] += stats["count"]
+                agg["total"] += stats["total"]
+                agg["min"] = min(agg["min"], stats["min"])
+                agg["max"] = max(agg["max"], stats["max"])
+                agg["mean"] = agg["total"] / agg["count"] if agg["count"] else 0.0
+        for name, totals in snap.get("span_totals", {}).items():
+            agg = span_totals.get(name)
+            if agg is None:
+                span_totals[name] = dict(totals)
+            else:
+                agg["count"] += totals["count"]
+                agg["total_s"] += totals["total_s"]
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "hists": hists,
+        "span_totals": span_totals,
+    }

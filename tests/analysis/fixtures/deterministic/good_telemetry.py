@@ -1,0 +1,34 @@
+"""Good fixture: the sanctioned write-only instrumentation idioms.
+
+Spans, counters, gauges, events, the guarded ``enabled`` check, and the
+phase-timing pattern where ``recorder.now()`` readings flow back into
+the recorder and nowhere else.
+"""
+
+from repro.telemetry import get_recorder
+
+
+def run_phase(simulate, payload: dict) -> dict:
+    telemetry = get_recorder()
+    with telemetry.span("phase.run", cat="fixture", items=len(payload)):
+        result = simulate(payload)
+    telemetry.count("phase.completed")
+    telemetry.observe("phase.items", len(payload))
+    return result
+
+
+def epoch_loop(step, epochs: int) -> list:
+    telemetry = get_recorder()
+    results = []
+    spent = 0.0
+    for index in range(epochs):
+        if telemetry.enabled:
+            tick = telemetry.now()
+        results.append(step(index))
+        if telemetry.enabled:
+            spent += telemetry.now() - tick
+    if telemetry.enabled:
+        telemetry.observe("epoch.loop_s", spent)
+        telemetry.gauge("epoch.count", epochs)
+        telemetry.event("loop.finished", cat="fixture", epochs=epochs)
+    return results

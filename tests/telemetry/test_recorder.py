@@ -1,0 +1,188 @@
+"""Recorder semantics under a fake clock: spans, metrics, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    recorder_from_env,
+    reset_recorder,
+    set_recorder,
+)
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = start
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock(100.0)
+
+
+@pytest.fixture()
+def rec(clock):
+    return Recorder(clock, process="test")
+
+
+class TestSpans:
+    def test_span_records_exact_duration(self, rec, clock):
+        with rec.span("work", cat="unit", size=3):
+            clock.advance(2.5)
+        snap = rec.snapshot()
+        assert snap["span_totals"]["work"] == {"count": 1, "total_s": 2.5}
+        span = rec.to_payload()["span_records"][0]
+        assert span["ts"] == 100.0
+        assert span["dur"] == 2.5
+        assert span["cat"] == "unit"
+        assert span["args"] == {"size": 3}
+
+    def test_spans_nest(self, rec, clock):
+        with rec.span("outer"):
+            clock.advance(1.0)
+            with rec.span("inner"):
+                clock.advance(0.5)
+            clock.advance(1.0)
+        totals = rec.snapshot()["span_totals"]
+        assert totals["outer"]["total_s"] == 2.5
+        assert totals["inner"]["total_s"] == 0.5
+
+    def test_complete_backdates(self, rec, clock):
+        clock.advance(10.0)
+        rec.complete("pool-child", 4.0, cat="sweep")
+        span = rec.to_payload()["span_records"][0]
+        assert span["ts"] == 110.0 - 4.0
+        assert span["dur"] == 4.0
+
+    def test_span_records_on_exception(self, rec, clock):
+        with pytest.raises(RuntimeError):
+            with rec.span("doomed"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        assert rec.snapshot()["span_totals"]["doomed"]["count"] == 1
+
+
+class TestMetrics:
+    def test_counters_accumulate(self, rec):
+        rec.count("hits")
+        rec.count("hits", 2.0)
+        assert rec.snapshot()["counters"]["hits"] == 3.0
+
+    def test_gauge_keeps_last_and_series(self, rec, clock):
+        rec.gauge("depth", 5)
+        clock.advance(1.0)
+        rec.gauge("depth", 2)
+        snap = rec.snapshot()
+        assert snap["gauges"]["depth"] == 2.0
+        series = rec.to_payload()["gauge_records"]
+        assert [(s["ts"], s["value"]) for s in series] == [
+            (100.0, 5.0),
+            (101.0, 2.0),
+        ]
+
+    def test_histogram_streams(self, rec):
+        for value in (1.0, 3.0, 2.0):
+            rec.observe("chunk", value)
+        hist = rec.snapshot()["hists"]["chunk"]
+        assert hist == {"count": 3, "total": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+
+    def test_events_carry_args(self, rec, clock):
+        clock.advance(0.25)
+        rec.event("lease.stolen", cat="spool", job="j1")
+        event = rec.to_payload()["event_records"][0]
+        assert event["name"] == "lease.stolen"
+        assert event["ts"] == 100.25
+        assert event["args"] == {"job": "j1"}
+
+    def test_clock_must_be_callable(self):
+        with pytest.raises(TypeError):
+            Recorder(42)
+
+
+class TestThreadSafety:
+    def test_concurrent_writes_never_lose_updates(self, rec, clock):
+        threads = 8
+        per_thread = 500
+
+        def hammer():
+            for _ in range(per_thread):
+                rec.count("n")
+                rec.observe("h", 1.0)
+                with rec.span("s"):
+                    pass
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        snap = rec.snapshot()
+        assert snap["counters"]["n"] == threads * per_thread
+        assert snap["hists"]["h"]["count"] == threads * per_thread
+        assert snap["span_totals"]["s"]["count"] == threads * per_thread
+
+
+class TestNullRecorder:
+    def test_noops_and_shared_span(self):
+        null = NullRecorder()
+        assert not null.enabled
+        with null.span("anything", cat="x", k=1):
+            pass
+        null.count("c")
+        null.gauge("g", 1)
+        null.observe("h", 1)
+        null.event("e")
+        assert null.snapshot() == {}
+
+    def test_uninstrumented_cost_is_one_attribute_check(self):
+        assert NULL_RECORDER.enabled is False
+
+
+class TestEnvActivation:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert not recorder_from_env({}).enabled
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "on"])
+    def test_truthy_values(self, value):
+        rec = recorder_from_env({"REPRO_TELEMETRY": value})
+        assert rec.enabled
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no"])
+    def test_falsy_values(self, value):
+        assert not recorder_from_env({"REPRO_TELEMETRY": value}).enabled
+
+    def test_process_name_from_env(self):
+        rec = recorder_from_env(
+            {"REPRO_TELEMETRY": "1", "REPRO_TELEMETRY_PROCESS": "worker-3"}
+        )
+        assert rec.process == "worker-3"
+
+    def test_get_set_reset_cycle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        reset_recorder()
+        try:
+            assert not get_recorder().enabled
+            mine = Recorder(FakeClock(), process="injected")
+            set_recorder(mine)
+            assert get_recorder() is mine
+            monkeypatch.setenv("REPRO_TELEMETRY", "1")
+            reset_recorder()
+            assert get_recorder().enabled
+        finally:
+            reset_recorder()

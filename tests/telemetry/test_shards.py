@@ -1,0 +1,204 @@
+"""Shard files and the merged timeline, pinned with fake clocks.
+
+Two processes with different monotonic epochs (host uptimes) must merge
+into one coherent wall-anchored order — that is the whole point of the
+per-shard offset.  Everything here is deterministic: both the monotonic
+and wall clocks are injected.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import (
+    Recorder,
+    chrome_trace,
+    merge_shards,
+    merge_snapshots,
+    read_shard,
+    read_shards,
+    shard_path,
+    write_chrome_trace,
+    write_shard,
+)
+
+from .test_recorder import FakeClock
+
+
+def make_process(name: str, mono_start: float, wall_at_flush: float):
+    """A recorder whose monotonic epoch and wall anchor the test controls."""
+    clock = FakeClock(mono_start)
+    wall = FakeClock(wall_at_flush)
+    return Recorder(clock, process=name, wall=wall), clock
+
+
+class TestShardFiles:
+    def test_write_is_atomic_and_named_by_process(self, tmp_path):
+        rec, clock = make_process("worker-1", 10.0, 1000.0)
+        with rec.span("job"):
+            clock.advance(1.0)
+        path = write_shard(tmp_path, rec)
+        assert path == shard_path(tmp_path, rec)
+        assert path.name.startswith("shard-worker-1-")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_meta_offset_anchors_monotonic_to_wall(self, tmp_path):
+        rec, clock = make_process("w", 50.0, 2000.0)
+        clock.advance(5.0)  # flush happens at mono=55, wall=2000
+        path = write_shard(tmp_path, rec)
+        meta = read_shard(path)["meta"]
+        assert meta["offset"] == 2000.0 - 55.0
+
+    def test_reflush_supersedes(self, tmp_path):
+        rec, clock = make_process("w", 0.0, 100.0)
+        rec.count("n")
+        write_shard(tmp_path, rec)
+        rec.count("n")
+        path = write_shard(tmp_path, rec)
+        assert read_shard(path)["meta"]["counters"]["n"] == 2.0
+        assert len(read_shards(tmp_path)) == 1
+
+    def test_torn_shard_skipped_not_crashed(self, tmp_path):
+        rec, clock = make_process("good", 0.0, 100.0)
+        rec.count("n")
+        write_shard(tmp_path, rec)
+        (tmp_path / "shard-torn-123.jsonl").write_text('{"kind": "meta", tru')
+        assert read_shard(tmp_path / "shard-torn-123.jsonl") is None
+        shards = read_shards(tmp_path)
+        assert [s["meta"]["process"] for s in shards] == ["good"]
+
+    def test_process_name_sanitized(self, tmp_path):
+        rec, _ = make_process("tcp://host:70", 0.0, 1.0)
+        name = shard_path(tmp_path, rec).name
+        assert ":" not in name and "/" not in name
+        assert name.startswith("shard-tcp___host_70-")
+
+
+class TestMergeOrdering:
+    def test_cross_process_records_interleave_by_wall_time(self, tmp_path):
+        # Process A booted long ago (mono epoch 1000); B just booted
+        # (mono epoch 5).  Wall-wise: A's event at wall 100.0 precedes
+        # B's at 100.5 precedes A's second at 101.0.
+        a, a_clock = make_process("a", 1000.0, 0.0)
+        b, b_clock = make_process("b", 5.0, 0.0)
+
+        a.event("first")          # mono 1000.0
+        b_clock.advance(0.0)
+        b.event("middle")         # mono 5.0
+        a_clock.advance(1.0)
+        a.event("last")           # mono 1001.0
+
+        # Flush A at mono 1001 == wall 101 -> offset -900; its events
+        # land at wall 100.0 and 101.0.  Flush B at mono 5 == wall 100.5
+        # -> offset 95.5; its event lands at wall 100.5.
+        a._wall.t = 101.0
+        write_shard(tmp_path, a)
+        b._wall.t = 100.5
+        write_shard(tmp_path, b)
+
+        merged = merge_shards(tmp_path)
+        order = [(r["name"], r["abs_ts"]) for r in merged["records"]]
+        assert order == [("first", 100.0), ("middle", 100.5), ("last", 101.0)]
+
+    def test_ties_break_deterministically(self, tmp_path):
+        a, _ = make_process("a", 0.0, 10.0)
+        b, _ = make_process("b", 0.0, 10.0)
+        a.event("same")
+        b.event("same")
+        write_shard(tmp_path, a)
+        write_shard(tmp_path, b)
+        merged = merge_shards(tmp_path)
+        assert [r["process"] for r in merged["records"]] == ["a", "b"]
+        # Stable across re-merges: the order is total, not dict-order luck.
+        assert merged == merge_shards(tmp_path)
+
+    def test_processes_listing(self, tmp_path):
+        for name in ("worker-2", "worker-1", "submitter"):
+            rec, _ = make_process(name, 0.0, 1.0)
+            rec.count("x")
+            write_shard(tmp_path, rec)
+        merged = merge_shards(tmp_path)
+        assert [p["process"] for p in merged["processes"]] == [
+            "submitter",
+            "worker-1",
+            "worker-2",
+        ]
+
+    def test_empty_directory(self, tmp_path):
+        assert merge_shards(tmp_path / "nope") == {"processes": [], "records": []}
+
+
+class TestMergeSnapshots:
+    def test_fleet_aggregation(self):
+        a = {
+            "process": "a",
+            "counters": {"done": 3.0},
+            "gauges": {"depth": 4.0},
+            "hists": {"chunk": {"count": 2, "total": 6.0, "min": 2.0, "max": 4.0, "mean": 3.0}},
+            "span_totals": {"run": {"count": 2, "total_s": 1.0}},
+        }
+        b = {
+            "process": "b",
+            "counters": {"done": 2.0, "failed": 1.0},
+            "gauges": {"depth": 9.0},
+            "hists": {"chunk": {"count": 1, "total": 8.0, "min": 8.0, "max": 8.0, "mean": 8.0}},
+            "span_totals": {"run": {"count": 1, "total_s": 2.0}},
+        }
+        merged = merge_snapshots([a, b, {}])
+        assert merged["counters"] == {"done": 5.0, "failed": 1.0}
+        assert merged["gauges"] == {"a:depth": 4.0, "b:depth": 9.0}
+        chunk = merged["hists"]["chunk"]
+        assert (chunk["count"], chunk["total"], chunk["min"], chunk["max"]) == (3, 14.0, 2.0, 8.0)
+        assert chunk["mean"] == 14.0 / 3
+        assert merged["span_totals"]["run"] == {"count": 3, "total_s": 3.0}
+
+
+class TestChromeTrace:
+    def _two_process_dir(self, tmp_path):
+        a, a_clock = make_process("submitter", 0.0, 100.0)
+        with a.span("sweep.run", cat="engine"):
+            a_clock.advance(2.0)
+        a.gauge("queue", 3)
+        a._wall.t = 102.0  # flush at mono 2.0
+        write_shard(tmp_path, a)
+
+        b, b_clock = make_process("worker-1", 500.0, 100.5)
+        b.event("chunk.claimed", cat="spool", jobs=2)
+        b_clock.advance(1.0)
+        b._wall.t = 101.5  # flush at mono 501.0
+        write_shard(tmp_path, b)
+        return tmp_path
+
+    def test_trace_shape(self, tmp_path):
+        doc = chrome_trace(self._two_process_dir(tmp_path))
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i", "C"}
+
+        names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert {n.split(" (pid")[0] for n in names} == {"submitter", "worker-1"}
+
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["name"] == "sweep.run"
+        assert span["dur"] == 2.0 * 1e6
+        assert span["ts"] == 0.0  # earliest record rebases to t=0
+
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["ts"] == 0.5 * 1e6  # wall 100.5 vs base 100.0
+
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["args"] == {"value": 3.0}
+
+    def test_pids_small_and_stable(self, tmp_path):
+        doc = chrome_trace(self._two_process_dir(tmp_path))
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}
+
+    def test_write_round_trips(self, tmp_path):
+        directory = self._two_process_dir(tmp_path)
+        out = write_chrome_trace(directory, tmp_path / "out" / "trace.json")
+        loaded = json.loads(out.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded == chrome_trace(directory)
